@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the table/figure bench binaries: canonical
+ * 32-bit paper benchmark construction and paper-vs-measured table
+ * emission.
+ */
+
+#ifndef QC_BENCH_BENCH_COMMON_HH
+#define QC_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/Table.hh"
+#include "kernels/Kernels.hh"
+
+namespace qc::bench {
+
+/** Build the paper's three 32-bit benchmarks with shared options. */
+inline std::vector<Benchmark>
+paperBenchmarks()
+{
+    // Literal {H, T} rotation words, as in Fowler's search and the
+    // paper's QFT derivation (Section 2.5).
+    static FowlerSynth synth(FowlerSynth::Options{
+        /*maxSyllables=*/6, /*maxError=*/1e-3, /*pureHT=*/true,
+        /*tCostWeight=*/3});
+    BenchmarkOptions opts;
+    opts.bits = 32;
+    return makeAllBenchmarks(synth, opts);
+}
+
+/** Parse an integer CLI argument of the form name=value. */
+inline std::uint64_t
+argValue(int argc, char **argv, const std::string &name,
+         std::uint64_t fallback)
+{
+    const std::string prefix = name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return std::strtoull(arg.c_str() + prefix.size(),
+                                 nullptr, 10);
+    }
+    return fallback;
+}
+
+/** Print a titled section separator. */
+inline void
+section(const std::string &title)
+{
+    std::cout << "\n== " << title << " ==\n";
+}
+
+} // namespace qc::bench
+
+#endif // QC_BENCH_BENCH_COMMON_HH

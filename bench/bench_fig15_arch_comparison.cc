@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 15: execution time as a function of total ancilla-factory
+ * area for the five microarchitectures — QLA and CQLA (the k = 1
+ * points of their generalized forms), GQLA and GCQLA (k parallel
+ * generators per site), and Fully-Multiplexed ancilla distribution
+ * (Qalypso's organization).
+ *
+ * Expected shapes (paper Section 5.2): Fully-Multiplexed reaches
+ * near-optimal execution at far smaller area; GQLA needs orders of
+ * magnitude more area to match and plateaus at a similar level;
+ * GCQLA plateaus half an order to an order of magnitude higher due
+ * to cache misses.
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "arch/Microarch.hh"
+#include "arch/SpeedOfData.hh"
+#include "circuit/Dataflow.hh"
+#include "common/Table.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const EncodedOpModel model(IonTrapParams::paper());
+
+    for (const Benchmark &b : bench::paperBenchmarks()) {
+        const DataflowGraph graph(b.lowered.circuit);
+        const BandwidthSummary bw =
+            bandwidthAtSpeedOfData(graph, model);
+        const Area data_area = 7.0 * b.lowered.circuit.numQubits();
+
+        bench::section("Figure 15: " + b.name + " (data qubit area "
+                       + fmtFixed(data_area, 0) + " macroblocks; "
+                       + "speed-of-data "
+                       + fmtFixed(toMs(bw.runtime), 2) + " ms)");
+
+        TextTable t;
+        t.header({"Microarch", "k / budget", "Factory Area",
+                  "Exec (ms)", "x optimal", "miss rate"});
+
+        auto runOne = [&](MicroarchKind kind, int k, Area budget,
+                          const std::string &label) {
+            MicroarchConfig config;
+            config.kind = kind;
+            config.generatorsPerSite = k;
+            config.areaBudget = budget;
+            config.cacheSlots = 24;
+            const ArchRunResult r =
+                runMicroarch(graph, model, config);
+            t.row({microarchName(kind), label,
+                   fmtFixed(r.ancillaArea, 0),
+                   fmtFixed(toMs(r.makespan), 2),
+                   fmtFixed(static_cast<double>(r.makespan)
+                                / static_cast<double>(bw.runtime),
+                            2),
+                   r.cacheAccesses ? fmtPct(r.missRate()) : "-"});
+        };
+
+        // QLA / GQLA sweep over generators per data qubit.
+        runOne(MicroarchKind::Qla, 1, 0, "k=1");
+        for (int k : {2, 4, 8, 16, 32})
+            runOne(MicroarchKind::Gqla, k,
+                   0, "k=" + std::to_string(k));
+
+        // CQLA / GCQLA sweep over generators per cache slot.
+        runOne(MicroarchKind::Cqla, 1, 0, "k=1");
+        for (int k : {2, 4, 8, 16, 32})
+            runOne(MicroarchKind::Gcqla, k, 0,
+                   "k=" + std::to_string(k));
+
+        // Fully multiplexed sweep over factory-area budget.
+        for (Area budget : {250.0, 500.0, 1000.0, 2000.0, 4000.0,
+                            8000.0, 16000.0, 64000.0}) {
+            runOne(MicroarchKind::FullyMultiplexed, 1, budget,
+                   fmtFixed(budget, 0) + " MB");
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 4 (plus the Section 2.3 basic-prep number): Monte Carlo
+ * logical-error rates of the encoded-zero preparation strategies,
+ * the verification failure rate, and the pi/8 conversion error.
+ *
+ * Paper values: basic 1.8e-3; verify-only 3.7e-4; correct-only
+ * 1.1e-3; verify+correct 2.9e-5; verification failure rate 0.2%.
+ *
+ * Both correction semantics are reported: the paper's Fig 4b/4c
+ * apply decoded fixes in place (ApplyFix); a production factory can
+ * instead discard-and-recycle on any detected error
+ * (DiscardOnSyndrome), which the paper motivates for short-lived
+ * ancillae in Section 3 and which is what our factory throughput
+ * model assumes.
+ *
+ * Usage: bench_fig4_ancilla_error_rates [trials=N] [seed=S]
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "common/Table.hh"
+#include "error/AncillaSim.hh"
+#include "layout/Builders.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qc;
+
+    const std::uint64_t trials =
+        bench::argValue(argc, argv, "trials", 1000000);
+    const std::uint64_t seed =
+        bench::argValue(argc, argv, "seed", 20080623);
+
+    // Movement charges calibrated from the routed Fig 11 layout.
+    const MovementModel movement = calibrateMovement(
+        buildSimpleFactory(), IonTrapParams::paper());
+
+    bench::section("Figure 4: ancilla preparation error rates ("
+                   + std::to_string(trials) + " trials/strategy)");
+
+    const struct
+    {
+        ZeroPrepStrategy strategy;
+        const char *paper;
+    } rows[] = {
+        {ZeroPrepStrategy::Basic, "1.8e-3"},
+        {ZeroPrepStrategy::VerifyOnly, "3.7e-4"},
+        {ZeroPrepStrategy::CorrectOnly, "1.1e-3"},
+        {ZeroPrepStrategy::VerifyAndCorrect, "2.9e-5"},
+    };
+
+    for (auto semantics : {CorrectionSemantics::ApplyFix,
+                           CorrectionSemantics::DiscardOnSyndrome}) {
+        bench::section(
+            semantics == CorrectionSemantics::ApplyFix
+                ? "Correction semantics: apply decoded fix (paper "
+                  "Fig 4)"
+                : "Correction semantics: discard on detected error "
+                  "(factory recycling)");
+        TextTable t;
+        t.header({"Strategy", "Error Rate", "95% CI", "Verify Fail",
+                  "Corr Recycle", "Paper"});
+        AncillaPrepSimulator sim(ErrorParams::paper(), movement,
+                                 seed, semantics);
+        for (const auto &row : rows) {
+            const PrepEstimate est =
+                sim.estimate(row.strategy, trials);
+            const Interval ci = est.errorInterval();
+            t.row({zeroPrepStrategyName(row.strategy),
+                   fmtSci(est.errorRate(), 2),
+                   "[" + fmtSci(ci.lo, 1) + ", " + fmtSci(ci.hi, 1)
+                       + "]",
+                   fmtPct(est.discardRate(), 2),
+                   fmtPct(est.correctionDiscardRate(), 2),
+                   row.paper});
+        }
+        t.print(std::cout);
+    }
+
+    bench::section("pi/8 conversion (Fig 5b) on verified+corrected "
+                   "zeros");
+    AncillaPrepSimulator sim(ErrorParams::paper(), movement, seed);
+    const PrepEstimate pi8 = sim.estimatePi8(trials / 4);
+    std::cout << "pi/8 ancilla error rate: "
+              << fmtSci(pi8.errorRate(), 2) << "  (95% CI ["
+              << fmtSci(pi8.errorInterval().lo, 1) << ", "
+              << fmtSci(pi8.errorInterval().hi, 1) << "])\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 7: encoded-zero ancillae that must be in the system as
+ * execution progresses, for each benchmark running at the speed of
+ * data. Prints the binned average concurrency as a series plus an
+ * ASCII sparkline per benchmark.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "arch/SpeedOfData.hh"
+#include "circuit/Dataflow.hh"
+#include "common/Table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qc;
+
+    const std::uint64_t bins =
+        bench::argValue(argc, argv, "bins", 40);
+    const EncodedOpModel model(IonTrapParams::paper());
+
+    for (const Benchmark &b : bench::paperBenchmarks()) {
+        const DataflowGraph graph(b.lowered.circuit);
+        const BandwidthSummary bw =
+            bandwidthAtSpeedOfData(graph, model);
+        const auto profile = ancillaDemandProfile(
+            graph, model, static_cast<std::size_t>(bins));
+        double peak = 0;
+        for (double v : profile)
+            peak = std::max(peak, v);
+
+        bench::section("Figure 7: " + b.name
+                       + " (zero-ancillae in flight)");
+        std::cout << "runtime " << fmtFixed(toMs(bw.runtime), 2)
+                  << " ms, average demand "
+                  << fmtFixed(bw.zeroPerMs(), 1)
+                  << " /ms, peak concurrency " << fmtFixed(peak, 1)
+                  << "\n";
+
+        TextTable t;
+        t.header({"t (ms)", "ancillae in flight", ""});
+        const double bin_ms =
+            toMs(bw.runtime) / static_cast<double>(bins);
+        for (std::size_t i = 0; i < profile.size(); ++i) {
+            const int bar_len = peak > 0
+                ? static_cast<int>(profile[i] / peak * 50.0)
+                : 0;
+            t.row({fmtFixed((static_cast<double>(i) + 0.5) * bin_ms,
+                            2),
+                   fmtFixed(profile[i], 2),
+                   std::string(static_cast<std::size_t>(bar_len),
+                               '#')});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

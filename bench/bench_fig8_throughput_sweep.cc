@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8: circuit execution time as a function of a steady
+ * encoded-zero ancilla throughput, for each benchmark. The paper's
+ * vertical reference line is the Table 3 average bandwidth; the
+ * curve should fall steeply up to roughly that point and flatten at
+ * the speed-of-data runtime beyond it.
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "arch/SpeedOfData.hh"
+#include "arch/ThrottledRun.hh"
+#include "circuit/Dataflow.hh"
+#include "common/Table.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const EncodedOpModel model(IonTrapParams::paper());
+    // Sweep each benchmark over multiples of its average bandwidth.
+    const double fractions[] = {0.125, 0.25, 0.5, 0.75, 1.0,
+                                1.5,   2.0,  3.0, 5.0,  10.0};
+
+    for (const Benchmark &b : bench::paperBenchmarks()) {
+        const DataflowGraph graph(b.lowered.circuit);
+        const BandwidthSummary bw =
+            bandwidthAtSpeedOfData(graph, model);
+
+        bench::section("Figure 8: " + b.name);
+        std::cout << "average bandwidth "
+                  << fmtFixed(bw.zeroPerMs(), 1)
+                  << " /ms (vertical line in the paper); speed-of-"
+                     "data runtime "
+                  << fmtFixed(toMs(bw.runtime), 2) << " ms\n";
+
+        TextTable t;
+        t.header({"throughput (/ms)", "x avg", "exec time (ms)",
+                  "slowdown vs optimal"});
+        for (double f : fractions) {
+            const double rate = bw.zeroPerMs() * f;
+            const ThrottledResult run =
+                throttledRun(graph, model, rate);
+            t.row({fmtFixed(rate, 1), fmtFixed(f, 3),
+                   fmtFixed(toMs(run.makespan), 2),
+                   fmtFixed(static_cast<double>(run.makespan)
+                                / static_cast<double>(bw.runtime),
+                            2)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

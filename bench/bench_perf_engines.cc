@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation engines
+ * themselves: Pauli-frame Monte Carlo trial rate, event-queue
+ * throughput, dataflow scheduling, factory design derivation, and
+ * Fowler search. These guard against performance regressions that
+ * would make the figure benches impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/SpeedOfData.hh"
+#include "arch/ThrottledRun.hh"
+#include "circuit/Dataflow.hh"
+#include "error/AncillaSim.hh"
+#include "factory/ZeroFactory.hh"
+#include "kernels/Kernels.hh"
+#include "sim/Simulator.hh"
+#include "synth/Fowler.hh"
+
+namespace {
+
+using namespace qc;
+
+const Benchmark &
+qrca16()
+{
+    static FowlerSynth synth;
+    static BenchmarkOptions opts = [] {
+        BenchmarkOptions o;
+        o.bits = 16;
+        return o;
+    }();
+    static Benchmark b =
+        makeBenchmark(BenchmarkKind::Qrca, synth, opts);
+    return b;
+}
+
+void
+BM_MonteCarloBasicPrep(benchmark::State &state)
+{
+    AncillaPrepSimulator sim(ErrorParams::paper(), MovementModel{},
+                             1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.simulateOnce(ZeroPrepStrategy::Basic));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonteCarloBasicPrep);
+
+void
+BM_MonteCarloVerifyAndCorrect(benchmark::State &state)
+{
+    AncillaPrepSimulator sim(ErrorParams::paper(), MovementModel{},
+                             2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.simulateOnce(ZeroPrepStrategy::VerifyAndCorrect));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonteCarloVerifyAndCorrect);
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        int count = 0;
+        for (int i = 0; i < 10000; ++i) {
+            sim.schedule(usec(i), [&count] { ++count; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void
+BM_DataflowBuild(benchmark::State &state)
+{
+    const Circuit &circuit = qrca16().lowered.circuit;
+    for (auto _ : state) {
+        DataflowGraph graph(circuit);
+        benchmark::DoNotOptimize(graph.numNodes());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * qrca16().lowered.circuit.size());
+}
+BENCHMARK(BM_DataflowBuild);
+
+void
+BM_AsapSchedule(benchmark::State &state)
+{
+    const DataflowGraph graph(qrca16().lowered.circuit);
+    const EncodedOpModel model;
+    for (auto _ : state) {
+        const BandwidthSummary bw =
+            bandwidthAtSpeedOfData(graph, model);
+        benchmark::DoNotOptimize(bw.runtime);
+    }
+}
+BENCHMARK(BM_AsapSchedule);
+
+void
+BM_ThrottledRun(benchmark::State &state)
+{
+    const DataflowGraph graph(qrca16().lowered.circuit);
+    const EncodedOpModel model;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            throttledRun(graph, model, 30.0).makespan);
+    }
+}
+BENCHMARK(BM_ThrottledRun);
+
+void
+BM_ZeroFactoryDesign(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ZeroFactory factory;
+        benchmark::DoNotOptimize(factory.totalArea());
+    }
+}
+BENCHMARK(BM_ZeroFactoryDesign);
+
+void
+BM_FowlerSearchDepth4(benchmark::State &state)
+{
+    for (auto _ : state) {
+        FowlerSynth synth(FowlerSynth::Options{4, 1e-3});
+        benchmark::DoNotOptimize(synth.rotZ(5).error);
+    }
+}
+BENCHMARK(BM_FowlerSearchDepth4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 2: relative latency of useful data operations, data/ancilla
+ * QEC interaction, and encoded ancilla preparation, assuming no
+ * overlap between computation and preparation.
+ *
+ * Paper values (32-bit, us and % of total):
+ *   QRCA:  29508 (5.2%) | 95641 (16.7%) | 447726 (78.2%)
+ *   QCLA:   3827 (5.3%) | 11921 (16.7%) |  55806 (78.0%)
+ *   QFT:   77057 (5.0%) | 365792 (23.7%) | 1097376 (71.2%)
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "arch/SpeedOfData.hh"
+#include "circuit/Dataflow.hh"
+#include "common/Table.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const EncodedOpModel model(IonTrapParams::paper());
+    bench::section(
+        "Table 2: latency split with no compute/prep overlap");
+
+    TextTable t;
+    t.header({"Circuit", "Data Op (us)", "%", "QEC Interact (us)",
+              "%", "Ancilla Prep (us)", "%"});
+    for (const Benchmark &b : bench::paperBenchmarks()) {
+        const DataflowGraph graph(b.lowered.circuit);
+        const LatencySplit split = latencySplit(graph, model);
+        t.row({b.name, fmtFixed(toUs(split.dataOp), 0),
+               fmtPct(split.dataOpShare()),
+               fmtFixed(toUs(split.qecInteract), 0),
+               fmtPct(split.qecInteractShare()),
+               fmtFixed(toUs(split.ancillaPrep), 0),
+               fmtPct(split.ancillaPrepShare())});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: QRCA 5.2/16.7/78.2%, QCLA 5.3/16.7/78.0%, "
+                 "QFT 5.0/23.7/71.2%\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 3: average encoded ancilla bandwidths needed for QEC and
+ * for non-transversal pi/8 gates if each circuit is to execute at
+ * the speed of data.
+ *
+ * Paper values (per ms): QRCA 34.8 / 7.0; QCLA 306.1 / 62.7;
+ * QFT 36.8 / 8.6.
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "arch/SpeedOfData.hh"
+#include "circuit/Dataflow.hh"
+#include "common/Table.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const EncodedOpModel model(IonTrapParams::paper());
+    bench::section("Table 3: average ancilla bandwidths (per ms)");
+
+    TextTable t;
+    t.header({"Circuit", "Runtime (ms)", "Zero BW (QEC)",
+              "pi/8 BW", "Zeros total", "pi/8 total",
+              "non-transversal %"});
+    for (const Benchmark &b : bench::paperBenchmarks()) {
+        const DataflowGraph graph(b.lowered.circuit);
+        const BandwidthSummary bw =
+            bandwidthAtSpeedOfData(graph, model);
+        const GateCensus census = b.lowered.circuit.census();
+        const double frac =
+            static_cast<double>(census.nonTransversal1q())
+            / static_cast<double>(census.total);
+        t.row({b.name, fmtFixed(toMs(bw.runtime), 2),
+               fmtFixed(bw.zeroPerMs(), 1),
+               fmtFixed(bw.pi8PerMs(), 1),
+               fmtInt(static_cast<long long>(bw.zerosConsumed)),
+               fmtInt(static_cast<long long>(bw.pi8Consumed)),
+               fmtPct(frac)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: QRCA 34.8/7.0, QCLA 306.1/62.7, "
+                 "QFT 36.8/8.6 per ms; non-transversal fractions "
+                 "40.5%, 41.0%, 46.9%\n";
+    return 0;
+}

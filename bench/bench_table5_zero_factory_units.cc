@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 5: functional-unit characteristics of the pipelined
+ * encoded-zero ancilla factory (symbolic latencies evaluated at the
+ * ion-trap technology point, bandwidths in physical qubits per ms,
+ * areas in macroblocks).
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "common/Table.hh"
+#include "factory/FunctionalUnit.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const ZeroFactoryUnits units(IonTrapParams::paper(), 0.998);
+    bench::section("Table 5: zero-factory functional units");
+
+    TextTable t;
+    t.header({"Functional Unit", "Latency (us)", "Stages",
+              "In BW (q/ms)", "Out BW (q/ms)", "Area"});
+    for (const FunctionalUnitSpec *u :
+         {&units.zeroPrep, &units.cxStage, &units.catPrep,
+          &units.verify, &units.bpCorrect}) {
+        t.row({u->name, fmtFixed(toUs(u->latency), 0),
+               fmtInt(u->stages), fmtFixed(u->inBandwidth(), 1),
+               fmtFixed(u->outBandwidth(), 1),
+               fmtFixed(u->area, 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: 73/95/62/82/138 us; in BW 13.7/221.1/"
+                 "96.8/122.0/152.2; out BW 13.7/221.1/96.8/85.2/"
+                 "50.7; areas 1/28/6/10/21\n";
+    return 0;
+}

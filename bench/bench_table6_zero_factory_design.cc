@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 6: bandwidth-matched unit counts of the pipelined
+ * encoded-zero factory, with crossbar sizing, total area and
+ * sustained throughput (paper: 298 macroblocks, 10.5 encoded
+ * ancillae / ms).
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "common/Table.hh"
+#include "factory/ZeroFactory.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const ZeroFactory factory(IonTrapParams::paper(), 0.998);
+    bench::section("Table 6: zero-factory design");
+
+    TextTable t;
+    t.header({"Functional Unit", "Count", "Total Height",
+              "Total Area"});
+    for (const StageDesign &s : factory.stages()) {
+        t.row({s.unit.name, fmtInt(s.count),
+               fmtInt(s.totalHeight()), fmtFixed(s.totalArea(), 0)});
+    }
+    t.print(std::cout);
+
+    bench::section("Crossbars and totals");
+    TextTable x;
+    x.header({"Quantity", "Value", "Paper"});
+    int xb = 1;
+    for (const CrossbarDesign &c : factory.crossbars()) {
+        x.row({"Crossbar " + std::to_string(xb++) + " (cols x h)",
+               std::to_string(c.columns) + " x "
+                   + std::to_string(c.height),
+               ""});
+    }
+    x.row({"Functional unit area",
+           fmtFixed(factory.functionalUnitArea(), 0), "130"});
+    x.row({"Crossbar area", fmtFixed(factory.crossbarArea(), 0),
+           "168"});
+    x.row({"Total area", fmtFixed(factory.totalArea(), 0), "298"});
+    x.row({"Throughput (enc ancillae/ms)",
+           fmtFixed(factory.throughput(), 1), "10.5"});
+    x.row({"Pipeline latency (us)",
+           fmtFixed(toUs(factory.latency()), 0), "-"});
+    x.print(std::cout);
+    return 0;
+}

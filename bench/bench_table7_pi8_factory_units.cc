@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 7: stage characteristics of the encoded pi/8 ancilla
+ * conversion factory (Fig 5b pipeline).
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "common/Table.hh"
+#include "factory/FunctionalUnit.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const Pi8FactoryUnits units(IonTrapParams::paper());
+    bench::section("Table 7: pi/8 factory stages");
+
+    TextTable t;
+    t.header({"Stage", "Latency (us)", "In BW (q/ms)",
+              "Out BW (q/ms)", "Area"});
+    for (const FunctionalUnitSpec *u :
+         {&units.catPrep7, &units.transversal, &units.decode,
+          &units.fixup}) {
+        t.row({u->name, fmtFixed(toUs(u->latency), 0),
+               fmtFixed(u->inBandwidth(), 1),
+               fmtFixed(u->outBandwidth(), 1), fmtFixed(u->area, 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: 218/53/218/74 us; in BW 32.1/264.2/64.2/"
+                 "108.1; out BW 32.1/264.2/36.7/94.6; areas "
+                 "12/7/19/8\n";
+    return 0;
+}

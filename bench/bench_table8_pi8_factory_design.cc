@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 8: bandwidth-matched unit counts of the pi/8 factory
+ * (paper: 403 macroblocks, 18.3 encoded pi/8 ancillae / ms, fed by
+ * one encoded zero per produced ancilla).
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "common/Table.hh"
+#include "factory/Pi8Factory.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const Pi8Factory factory(IonTrapParams::paper());
+    bench::section("Table 8: pi/8 factory design");
+
+    TextTable t;
+    t.header({"Stage", "Count", "Total Height", "Total Area"});
+    for (const StageDesign &s : factory.stages()) {
+        t.row({s.unit.name, fmtInt(s.count),
+               fmtInt(s.totalHeight()), fmtFixed(s.totalArea(), 0)});
+    }
+    t.print(std::cout);
+
+    bench::section("Totals");
+    TextTable x;
+    x.header({"Quantity", "Value", "Paper"});
+    x.row({"Functional unit area",
+           fmtFixed(factory.functionalUnitArea(), 0), "147"});
+    x.row({"Crossbar area", fmtFixed(factory.crossbarArea(), 0),
+           "256"});
+    x.row({"Total area", fmtFixed(factory.totalArea(), 0), "403"});
+    x.row({"Throughput (pi/8 ancillae/ms)",
+           fmtFixed(factory.throughput(), 1), "18.3"});
+    x.row({"Zero input bandwidth (per ms)",
+           fmtFixed(factory.zeroInputBandwidth(), 1), "18.3"});
+    x.row({"Conversion latency (us)",
+           fmtFixed(toUs(factory.latency()), 0), "-"});
+    x.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tables 1 and 4: the physical operation latencies of the ion-trap
+ * technology point. These are model inputs; the bench echoes them
+ * and the derived composite latencies every other artifact builds
+ * on, so a reader can audit the whole chain from one place.
+ */
+
+#include <iostream>
+
+#include "BenchCommon.hh"
+#include "codes/EncodedOp.hh"
+#include "common/Params.hh"
+#include "common/Table.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    const IonTrapParams tech = IonTrapParams::paper();
+
+    bench::section("Table 1: physical operation latencies (us)");
+    TextTable t1;
+    t1.header({"Physical Operation", "Symbol", "Latency (us)",
+               "Paper"});
+    t1.row({"One-Qubit Gate", "t1q", fmtFixed(toUs(tech.t1q), 0),
+            "1"});
+    t1.row({"Two-Qubit Gate", "t2q", fmtFixed(toUs(tech.t2q), 0),
+            "10"});
+    t1.row({"Measurement", "tmeas", fmtFixed(toUs(tech.tmeas), 0),
+            "50"});
+    t1.row({"Zero Prepare", "tprep", fmtFixed(toUs(tech.tprep), 0),
+            "51"});
+    t1.print(std::cout);
+
+    bench::section("Table 4: movement latencies (us)");
+    TextTable t4;
+    t4.header({"Physical Operation", "Symbol", "Latency (us)",
+               "Paper"});
+    t4.row({"Straight Move", "tmove", fmtFixed(toUs(tech.tmove), 0),
+            "1"});
+    t4.row({"Turn", "tturn", fmtFixed(toUs(tech.tturn), 0), "10"});
+    t4.print(std::cout);
+
+    bench::section("Derived composite latencies (us)");
+    const EncodedOpModel model(tech);
+    TextTable d;
+    d.header({"Composite", "Latency (us)"});
+    d.row({"QEC data/ancilla interaction",
+           fmtFixed(toUs(model.qecInteractLatency()), 0)});
+    d.row({"pi/8 ancilla interaction",
+           fmtFixed(toUs(model.pi8InteractLatency()), 0)});
+    d.row({"Encoded zero prep (Fig 4c, no movement)",
+           fmtFixed(toUs(model.zeroPrepLatency()), 0)});
+    d.row({"Encoded pi/8 prep (Fig 5b, no movement)",
+           fmtFixed(toUs(model.pi8PrepLatency()), 0)});
+    d.print(std::cout);
+    return 0;
+}

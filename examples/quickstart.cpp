@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the core qalypso workflow in ~60 lines.
+ *
+ * 1. Generate a benchmark kernel (a 32-bit ripple-carry adder).
+ * 2. Lower it to the fault-tolerant [[7,1,3]] gate set.
+ * 3. Ask how fast it can run at the "speed of data" and what
+ *    encoded-ancilla bandwidth that requires (paper Section 3).
+ * 4. Size pipelined ancilla factories to that bandwidth
+ *    (Section 4) and report the resulting chip-area split
+ *    (Section 5.1).
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "arch/SpeedOfData.hh"
+#include "circuit/Dataflow.hh"
+#include "codes/EncodedOp.hh"
+#include "factory/Allocation.hh"
+#include "kernels/Kernels.hh"
+#include "layout/Builders.hh"
+
+int
+main()
+{
+    using namespace qc;
+
+    // 1. Generate and 2. lower the kernel.
+    FowlerSynth synth; // rotation-word cache (QRCA needs none)
+    BenchmarkOptions options;
+    options.bits = 32;
+    const Benchmark bench =
+        makeBenchmark(BenchmarkKind::Qrca, synth, options);
+
+    const GateCensus census = bench.lowered.circuit.census();
+    std::cout << bench.name << ": "
+              << bench.lowered.circuit.numQubits()
+              << " logical qubits, " << census.total
+              << " fault-tolerant gates (" << census.nonTransversal1q()
+              << " pi/8 gates from "
+              << bench.lowered.stats.toffolis << " Toffolis)\n";
+
+    // 3. Speed-of-data analysis.
+    const EncodedOpModel model(IonTrapParams::paper());
+    const DataflowGraph graph(bench.lowered.circuit);
+    const BandwidthSummary bw = bandwidthAtSpeedOfData(graph, model);
+    std::cout << "speed-of-data runtime: " << toMs(bw.runtime)
+              << " ms\n"
+              << "required bandwidth: " << bw.zeroPerMs()
+              << " encoded zeros/ms + " << bw.pi8PerMs()
+              << " encoded pi/8/ms\n";
+
+    // 4. Factory sizing and area split.
+    const ZeroFactory zero;   // 298 macroblocks, 10.5 ancillae/ms
+    const Pi8Factory pi8;     // 403 macroblocks, 18.3 ancillae/ms
+    const FactoryAllocation alloc = allocateForBandwidth(
+        zero, pi8, bw.zeroPerMs(), bw.pi8PerMs());
+    const Area data = dataQubitArea()
+        * bench.lowered.circuit.numQubits();
+
+    std::cout << "chip area: data " << data << " MB, QEC factories "
+              << alloc.qecArea() << " MB, pi/8 chain "
+              << alloc.pi8Area() << " MB  ("
+              << 100.0 * (alloc.totalArea())
+                     / (data + alloc.totalArea())
+              << "% of the chip is ancilla generation)\n";
+    return 0;
+}

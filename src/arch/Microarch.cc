@@ -1,0 +1,323 @@
+#include "arch/Microarch.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/Logging.hh"
+#include "sim/Simulator.hh"
+#include "sim/TokenPool.hh"
+
+namespace qc {
+
+std::string
+microarchName(MicroarchKind kind)
+{
+    switch (kind) {
+      case MicroarchKind::Qla:              return "QLA";
+      case MicroarchKind::Gqla:             return "GQLA";
+      case MicroarchKind::Cqla:             return "CQLA";
+      case MicroarchKind::Gcqla:            return "GCQLA";
+      case MicroarchKind::FullyMultiplexed: return "Fully-Multiplexed";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Small LRU set of logical qubits with stable slot assignment (the
+ * CQLA compute cache; slots carry the per-site generator banks).
+ */
+class LruCache
+{
+  public:
+    struct Access
+    {
+        bool hit = false;
+        bool evicted = false;
+        int slot = 0;
+    };
+
+    explicit LruCache(std::size_t capacity) : capacity_(capacity)
+    {
+        for (std::size_t s = capacity; s > 0; --s)
+            freeSlots_.push_back(static_cast<int>(s - 1));
+    }
+
+    /** Touch q (MRU); reports hit/eviction and the slot q occupies. */
+    Access
+    access(Qubit q)
+    {
+        Access out;
+        auto it = std::find_if(
+            order_.begin(), order_.end(),
+            [q](const Entry &e) { return e.qubit == q; });
+        if (it != order_.end()) {
+            out.hit = true;
+            out.slot = it->slot;
+            const Entry entry = *it;
+            order_.erase(it);
+            order_.push_front(entry);
+            return out;
+        }
+        int slot;
+        if (freeSlots_.empty()) {
+            out.evicted = true;
+            slot = order_.back().slot;
+            order_.pop_back();
+        } else {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+        }
+        out.slot = slot;
+        order_.push_front(Entry{q, slot});
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        Qubit qubit;
+        int slot;
+    };
+
+    std::size_t capacity_;
+    std::deque<Entry> order_;
+    std::vector<int> freeSlots_;
+};
+
+/** Ballistic two-qubit rendezvous inside a dense data region. */
+Time
+ballistic2q(int region_qubits, const IonTrapParams &tech)
+{
+    // Average column separation is a third of the region width;
+    // each encoded-qubit column plus its channel is two macroblocks
+    // wide. Two turns to leave and rejoin a column.
+    const int moves = std::max(2, 2 * region_qubits / 3);
+    return moves * tech.tmove + 2 * tech.tturn;
+}
+
+/** Hop of a fresh ancilla from a factory output port to the data. */
+Time
+ancillaHop(const IonTrapParams &tech)
+{
+    return 3 * tech.tmove + tech.tturn;
+}
+
+} // namespace
+
+ArchRunResult
+runMicroarch(const DataflowGraph &graph, const EncodedOpModel &model,
+             const MicroarchConfig &config)
+{
+    const auto &gates = graph.circuit().gates();
+    const auto n = static_cast<NodeId>(graph.numNodes());
+    const Qubit nq = graph.circuit().numQubits();
+    const IonTrapParams &tech = config.tech;
+    const int k = std::max(1, config.generatorsPerSite);
+
+    const bool cached = config.kind == MicroarchKind::Cqla
+        || config.kind == MicroarchKind::Gcqla;
+    const bool per_qubit = config.kind == MicroarchKind::Qla
+        || config.kind == MicroarchKind::Gqla;
+    const bool fma = config.kind == MicroarchKind::FullyMultiplexed;
+
+    ArchRunResult result;
+    Simulator sim;
+
+    // --- Ancilla production hardware -----------------------------
+    const SimpleZeroFactory simple(tech);
+    const ZeroFactory zeroFactory(tech);
+    const Pi8Factory pi8Factory(tech);
+
+    // Per-qubit banks for (G)QLA; per-cache-slot banks for (G)CQLA.
+    // Both use on-demand production with single-ancilla buffering:
+    // a dedicated generator cannot stockpile for its site nor serve
+    // another one (Section 5.1).
+    std::vector<OnDemandBankPool> banks;
+    if (per_qubit) {
+        banks.reserve(nq);
+        for (Qubit q = 0; q < nq; ++q)
+            banks.emplace_back(k, simple.latency());
+        result.ancillaArea =
+            static_cast<Area>(nq) * k * simple.area();
+    }
+    std::vector<OnDemandBankPool> slotBanks;
+    if (cached) {
+        slotBanks.reserve(static_cast<std::size_t>(
+            config.cacheSlots));
+        for (int s = 0; s < config.cacheSlots; ++s)
+            slotBanks.emplace_back(k, simple.latency());
+        result.ancillaArea =
+            static_cast<Area>(config.cacheSlots) * k * simple.area();
+    }
+
+    // Fully multiplexed: split the budget between the zero farm and
+    // the pi/8 chain in proportion to the circuit's demand mix.
+    std::uint64_t zero_demand = 0;
+    std::uint64_t pi8_demand = 0;
+    for (const Gate &g : gates) {
+        zero_demand +=
+            static_cast<std::uint64_t>(model.zeroAncillae(g));
+        pi8_demand +=
+            static_cast<std::uint64_t>(model.pi8Ancillae(g));
+    }
+    std::unique_ptr<RateTokenPool> fmaZeros;
+    std::unique_ptr<RateTokenPool> fmaPi8s;
+    if (fma) {
+        // Area per unit bandwidth for each product.
+        const double cost_zero =
+            zeroFactory.totalArea() / zeroFactory.throughput();
+        const double cost_pi8 =
+            pi8Factory.totalArea() / pi8Factory.throughput()
+            + zeroFactory.totalArea() / zeroFactory.throughput();
+        const double weighted =
+            static_cast<double>(zero_demand) * cost_zero
+            + static_cast<double>(pi8_demand) * cost_pi8;
+        const double scale =
+            weighted > 0 ? config.areaBudget / weighted : 0;
+        const BandwidthPerMs zero_bw =
+            static_cast<double>(zero_demand) * scale;
+        const BandwidthPerMs pi8_bw =
+            static_cast<double>(pi8_demand) * scale;
+        fmaZeros = std::make_unique<RateTokenPool>(
+            zero_bw, zeroFactory.latency());
+        fmaPi8s = std::make_unique<RateTokenPool>(
+            pi8_bw, zeroFactory.latency() + pi8Factory.latency());
+        result.ancillaArea = config.areaBudget;
+    }
+
+    // Extra conversion time for a pi/8 ancilla produced from a bank
+    // zero (banks produce zeroes; the conversion pipeline of Fig 5b
+    // adds its stages on top).
+    const Time pi8_extra =
+        model.pi8PrepLatency() - model.zeroPrepLatency();
+
+    // --- Movement and cache state ---------------------------------
+    LruCache cache(static_cast<std::size_t>(
+        std::max(2, config.cacheSlots)));
+    const Time teleport = config.teleportLatency();
+
+    // Slot hosting the most recent gate's QEC site (set by
+    // moveOverhead, consumed by ancillaReady for the cached archs).
+    int qec_slot = 0;
+
+    auto moveOverhead = [&](const Gate &g) -> Time {
+        const int arity = g.arity();
+        if (per_qubit) {
+            // One operand teleports to its partner's site for a
+            // two-qubit gate; the QEC step runs there with the
+            // site's own generators and the return trip overlaps
+            // with the next gate's transfer.
+            if (arity == 2) {
+                result.teleports += 1;
+                return teleport;
+            }
+            return 0;
+        }
+        if (cached) {
+            Time penalty = 0;
+            for (int i = 0; i < arity; ++i) {
+                ++result.cacheAccesses;
+                const LruCache::Access access = cache.access(
+                    g.ops[static_cast<std::size_t>(i)]);
+                qec_slot = access.slot;
+                if (!access.hit) {
+                    ++result.cacheMisses;
+                    ++result.teleports;
+                    penalty += teleport; // fetch
+                    if (access.evicted) {
+                        ++result.teleports;
+                        penalty += teleport; // dirty writeback
+                    }
+                }
+            }
+            if (arity == 2)
+                penalty += ballistic2q(config.cacheSlots, tech);
+            return penalty;
+        }
+        // Fully multiplexed: dense data-only region, ballistic hops.
+        Time penalty = ancillaHop(tech);
+        if (arity == 2)
+            penalty += ballistic2q(static_cast<int>(nq), tech);
+        return penalty;
+    };
+
+    auto ancillaReady = [&](const Gate &g) -> Time {
+        const Time now = sim.now();
+        Time ready = now;
+        const int z = model.zeroAncillae(g);
+        const int p = model.pi8Ancillae(g);
+        result.zerosConsumed += static_cast<std::uint64_t>(z);
+        result.pi8Consumed += static_cast<std::uint64_t>(p);
+        if (per_qubit) {
+            // Claims go to the home bank of the gate's last operand
+            // (where the QEC step runs).
+            const Qubit home = g.ops[static_cast<std::size_t>(
+                g.arity() - 1)];
+            auto &bank = banks[home];
+            if (z > 0)
+                ready = std::max(ready, bank.claim(z, now));
+            if (p > 0) {
+                ready = std::max(ready,
+                                 bank.claim(p, now) + pi8_extra);
+            }
+        } else if (cached) {
+            // Fresh ancillae live outside the compute cache proper
+            // and are teleported in ("even with very fast encoded
+            // ancilla production, cache misses are still incurred
+            // to bring ancillae to data" — Section 5.2). This
+            // delivery sets CQLA's plateau.
+            auto &bank = slotBanks[static_cast<std::size_t>(
+                qec_slot)];
+            if (z > 0) {
+                ready = std::max(ready,
+                                 bank.claim(z, now) + teleport);
+            }
+            if (p > 0) {
+                ready = std::max(
+                    ready, bank.claim(p, now) + teleport + pi8_extra);
+            }
+        } else {
+            if (z > 0)
+                ready = std::max(ready, fmaZeros->claim(z));
+            if (p > 0)
+                ready = std::max(ready, fmaPi8s->claim(p));
+        }
+        return ready;
+    };
+
+    // --- Event-driven dataflow execution -------------------------
+    std::vector<int> missing(n, 0);
+    for (NodeId i = 0; i < n; ++i)
+        missing[i] = static_cast<int>(graph.preds(i).size());
+
+    std::function<void(NodeId)> launch = [&](NodeId node) {
+        const Gate &g = gates[node];
+        // Movement/cache bookkeeping first: it determines the QEC
+        // site whose bank the ancilla claim goes to.
+        const Time overhead = moveOverhead(g);
+        const Time start = std::max(sim.now(), ancillaReady(g));
+        Time latency = overhead + model.dataLatency(g);
+        if (model.needsQec(g.kind))
+            latency += model.qecInteractLatency();
+        sim.schedule(start + latency, [&, node]() {
+            result.makespan = std::max(result.makespan, sim.now());
+            for (NodeId succ : graph.succs(node)) {
+                if (--missing[succ] == 0)
+                    launch(succ);
+            }
+        });
+    };
+
+    for (NodeId root : graph.roots())
+        sim.schedule(0, [&, root]() { launch(root); });
+
+    sim.run();
+    return result;
+}
+
+} // namespace qc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Microarchitecture models for the paper's Section 5.2 latency/area
+ * evaluation (Figure 15): QLA, GQLA, CQLA, GCQLA and the
+ * fully-multiplexed ancilla distribution used by Qalypso.
+ *
+ * All five share the same event-driven dataflow executor; they
+ * differ in where encoded ancillae come from and what data movement
+ * costs:
+ *
+ *  - QLA [22]: every logical data qubit owns a dedicated ancilla
+ *    generator producing serially (one simple factory); operands of
+ *    two-qubit gates teleport to an interaction site and back home
+ *    for their QEC step.
+ *  - GQLA: QLA generalized to k parallel generators per data qubit.
+ *  - CQLA [15]: a compute cache of data qubits with richer ancilla
+ *    support; gates execute only on cached qubits, and misses incur
+ *    teleport-in (plus a writeback teleport when a dirty qubit is
+ *    evicted). LRU replacement, as in sim-cache.
+ *  - GCQLA: CQLA with k parallel generators per cache slot.
+ *  - Fully-Multiplexed (Qalypso, Section 5.3): a shared farm of
+ *    pipelined factories feeds all data qubits; ancillae travel a
+ *    short ballistic hop from the factory output port to the dense
+ *    data-only region, and data moves ballistically inside it.
+ */
+
+#ifndef QC_ARCH_MICROARCH_HH
+#define QC_ARCH_MICROARCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/Dataflow.hh"
+#include "codes/EncodedOp.hh"
+#include "factory/Pi8Factory.hh"
+#include "factory/ZeroFactory.hh"
+
+namespace qc {
+
+/** The five modeled microarchitectures. */
+enum class MicroarchKind
+{
+    Qla,
+    Gqla,
+    Cqla,
+    Gcqla,
+    FullyMultiplexed,
+};
+
+/** Display name. */
+std::string microarchName(MicroarchKind kind);
+
+/** Knobs for a single microarchitecture run. */
+struct MicroarchConfig
+{
+    MicroarchKind kind = MicroarchKind::FullyMultiplexed;
+    IonTrapParams tech{};
+
+    /**
+     * (G)QLA / (G)CQLA: parallel generators per site; 1 reproduces
+     * the original QLA/CQLA proposals.
+     */
+    int generatorsPerSite = 1;
+
+    /** (G)CQLA: compute-cache capacity in logical qubits. */
+    int cacheSlots = 24;
+
+    /**
+     * FullyMultiplexed: total factory area budget (macroblocks),
+     * split between the zero-factory farm and the pi/8 chain in
+     * proportion to the circuit's ancilla demand mix.
+     */
+    Area areaBudget = 3000;
+
+    /**
+     * Teleportation latency between tiles / to the compute cache
+     * (EPR prep, transversal Bell measurement and fix-up). Zero
+     * means "derive from tech" (tprep + 2 t2q + tmeas + 2 t1q).
+     */
+    Time teleport = 0;
+
+    /** Derived teleport latency. */
+    Time
+    teleportLatency() const
+    {
+        if (teleport > 0)
+            return teleport;
+        return tech.tprep + 2 * tech.t2q + tech.tmeas + 2 * tech.t1q;
+    }
+};
+
+/** Outcome of one microarchitecture run. */
+struct ArchRunResult
+{
+    Time makespan = 0;
+    std::uint64_t zerosConsumed = 0;
+    std::uint64_t pi8Consumed = 0;
+    std::uint64_t teleports = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheAccesses = 0;
+    Area ancillaArea = 0; ///< generation hardware charged (x-axis)
+
+    double
+    missRate() const
+    {
+        return cacheAccesses
+                   ? static_cast<double>(cacheMisses) / cacheAccesses
+                   : 0.0;
+    }
+};
+
+/**
+ * Run one benchmark dataflow under one microarchitecture
+ * configuration.
+ */
+ArchRunResult runMicroarch(const DataflowGraph &graph,
+                           const EncodedOpModel &model,
+                           const MicroarchConfig &config);
+
+} // namespace qc
+
+#endif // QC_ARCH_MICROARCH_HH

@@ -1,0 +1,144 @@
+#include "arch/QalypsoTile.hh"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/Logging.hh"
+#include "factory/Pi8Factory.hh"
+#include "factory/ZeroFactory.hh"
+#include "sim/Simulator.hh"
+#include "sim/TokenPool.hh"
+
+namespace qc {
+
+QalypsoRunResult
+runQalypso(const DataflowGraph &graph, const EncodedOpModel &model,
+           const QalypsoConfig &config)
+{
+    if (config.tileSize < 1)
+        fatal("runQalypso: tile size must be >= 1");
+
+    const auto &gates = graph.circuit().gates();
+    const auto n = static_cast<NodeId>(graph.numNodes());
+    const int nq = static_cast<int>(graph.circuit().numQubits());
+    const IonTrapParams &tech = config.tech;
+    const int tiles =
+        (nq + config.tileSize - 1) / config.tileSize;
+
+    QalypsoRunResult result;
+    result.tiles = tiles;
+    result.totalFactoryArea =
+        config.factoryAreaPerTile * static_cast<Area>(tiles);
+
+    // Demand-proportional split of each tile's factory budget.
+    std::uint64_t zero_demand = 0;
+    std::uint64_t pi8_demand = 0;
+    for (const Gate &g : gates) {
+        zero_demand +=
+            static_cast<std::uint64_t>(model.zeroAncillae(g));
+        pi8_demand +=
+            static_cast<std::uint64_t>(model.pi8Ancillae(g));
+    }
+    const ZeroFactory zero(tech);
+    const Pi8Factory pi8(tech);
+    const double cost_zero = zero.totalArea() / zero.throughput();
+    const double cost_pi8 = pi8.totalArea() / pi8.throughput()
+        + zero.totalArea() / zero.throughput();
+    const double weighted =
+        static_cast<double>(zero_demand) * cost_zero
+        + static_cast<double>(pi8_demand) * cost_pi8;
+    const double scale =
+        weighted > 0 ? config.factoryAreaPerTile
+                * static_cast<double>(tiles) / weighted
+                     : 0.0;
+    // Per-tile pools (each tile owns 1/tiles of the farm).
+    const BandwidthPerMs zero_bw_tile =
+        static_cast<double>(zero_demand) * scale
+        / static_cast<double>(tiles);
+    const BandwidthPerMs pi8_bw_tile =
+        static_cast<double>(pi8_demand) * scale
+        / static_cast<double>(tiles);
+
+    std::vector<RateTokenPool> zero_pools;
+    std::vector<RateTokenPool> pi8_pools;
+    zero_pools.reserve(static_cast<std::size_t>(tiles));
+    pi8_pools.reserve(static_cast<std::size_t>(tiles));
+    for (int t = 0; t < tiles; ++t) {
+        zero_pools.emplace_back(zero_bw_tile, zero.latency());
+        pi8_pools.emplace_back(pi8_bw_tile,
+                               zero.latency() + pi8.latency());
+    }
+
+    const Time teleport = config.teleportLatency();
+    const int region = std::min(config.tileSize, nq);
+    const Time ballistic =
+        std::max(2, 2 * region / 3) * tech.tmove + 2 * tech.tturn;
+    const Time hop = 3 * tech.tmove + tech.tturn;
+
+    auto tileOf = [&](Qubit q) {
+        return static_cast<int>(q) / config.tileSize;
+    };
+
+    Simulator sim;
+    std::vector<int> missing(n, 0);
+    for (NodeId i = 0; i < n; ++i)
+        missing[i] = static_cast<int>(graph.preds(i).size());
+
+    std::function<void(NodeId)> launch = [&](NodeId node) {
+        const Gate &g = gates[node];
+        const Time now = sim.now();
+
+        // The QEC site is the tile of the last operand.
+        const int home = tileOf(
+            g.ops[static_cast<std::size_t>(g.arity() - 1)]);
+
+        Time ready = now;
+        const int z = model.zeroAncillae(g);
+        const int p = model.pi8Ancillae(g);
+        result.zerosConsumed += static_cast<std::uint64_t>(z);
+        result.pi8Consumed += static_cast<std::uint64_t>(p);
+        if (z > 0) {
+            ready = std::max(
+                ready,
+                zero_pools[static_cast<std::size_t>(home)].claim(z));
+        }
+        if (p > 0) {
+            ready = std::max(
+                ready,
+                pi8_pools[static_cast<std::size_t>(home)].claim(p));
+        }
+
+        Time overhead = hop;
+        if (g.arity() == 2) {
+            if (tileOf(g.ops[0]) == tileOf(g.ops[1])) {
+                ++result.intraTile2q;
+                overhead += ballistic;
+            } else {
+                ++result.interTile2q;
+                result.teleports += 1;
+                overhead += teleport;
+            }
+        }
+
+        Time latency = overhead + model.dataLatency(g);
+        if (model.needsQec(g.kind))
+            latency += model.qecInteractLatency();
+
+        sim.schedule(ready + latency, [&, node]() {
+            result.makespan = std::max(result.makespan, sim.now());
+            for (NodeId succ : graph.succs(node)) {
+                if (--missing[succ] == 0)
+                    launch(succ);
+            }
+        });
+    };
+
+    for (NodeId root : graph.roots())
+        sim.schedule(0, [&, root]() { launch(root); });
+
+    sim.run();
+    return result;
+}
+
+} // namespace qc

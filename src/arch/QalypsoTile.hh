@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The tiled Qalypso microarchitecture of paper Section 5.3 /
+ * Figure 16: dense data-only regions, each surrounded by its own
+ * ancilla factories with output ports at the region edge, connected
+ * by a teleport-based inter-tile network.
+ *
+ * Relative to the single-region fully-multiplexed model
+ * (Microarch.hh), this adds the two effects that determine tile
+ * size — the paper's stated open problem: ancilla supply is
+ * multiplexed only *within* a tile, and two-qubit gates between
+ * tiles pay teleportation while intra-tile gates move
+ * ballistically.
+ */
+
+#ifndef QC_ARCH_QALYPSO_TILE_HH
+#define QC_ARCH_QALYPSO_TILE_HH
+
+#include <cstdint>
+
+#include "circuit/Dataflow.hh"
+#include "codes/EncodedOp.hh"
+
+namespace qc {
+
+/** Configuration of a tiled Qalypso run. */
+struct QalypsoConfig
+{
+    IonTrapParams tech{};
+
+    /** Logical qubits per tile (contiguous index blocks). */
+    int tileSize = 32;
+
+    /**
+     * Factory area per tile (macroblocks), split between the zero
+     * farm and the pi/8 chain in proportion to the circuit's
+     * demand mix (as in the fully-multiplexed model).
+     */
+    Area factoryAreaPerTile = 2000;
+
+    /** Teleport latency override; 0 derives from tech. */
+    Time teleport = 0;
+
+    Time
+    teleportLatency() const
+    {
+        if (teleport > 0)
+            return teleport;
+        return tech.tprep + 2 * tech.t2q + tech.tmeas + 2 * tech.t1q;
+    }
+};
+
+/** Outcome of a tiled run. */
+struct QalypsoRunResult
+{
+    Time makespan = 0;
+    int tiles = 0;
+    Area totalFactoryArea = 0;
+    std::uint64_t intraTile2q = 0;
+    std::uint64_t interTile2q = 0;
+    std::uint64_t teleports = 0;
+    std::uint64_t zerosConsumed = 0;
+    std::uint64_t pi8Consumed = 0;
+
+    /** Fraction of two-qubit gates crossing tiles. */
+    double
+    interTileFraction() const
+    {
+        const std::uint64_t total = intraTile2q + interTile2q;
+        return total ? static_cast<double>(interTile2q)
+                           / static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Run a benchmark dataflow on the tiled Qalypso organization. */
+QalypsoRunResult runQalypso(const DataflowGraph &graph,
+                            const EncodedOpModel &model,
+                            const QalypsoConfig &config);
+
+} // namespace qc
+
+#endif // QC_ARCH_QALYPSO_TILE_HH

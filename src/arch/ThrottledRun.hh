@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Event-driven execution under a steady encoded-ancilla supply
+ * (paper Figure 8): data dependencies as in the speed-of-data
+ * schedule, but every QEC step must first claim two encoded zero
+ * ancillae from a rate-limited pool (and every pi/8 gate one pi/8
+ * ancilla from its own pool, when constrained).
+ */
+
+#ifndef QC_ARCH_THROTTLED_RUN_HH
+#define QC_ARCH_THROTTLED_RUN_HH
+
+#include <cstdint>
+
+#include "circuit/Dataflow.hh"
+#include "codes/EncodedOp.hh"
+
+namespace qc {
+
+/** Outcome of a throttled run. */
+struct ThrottledResult
+{
+    Time makespan = 0;
+    std::uint64_t zerosConsumed = 0;
+    std::uint64_t pi8Consumed = 0;
+};
+
+/**
+ * Execute the dataflow graph with a steady ancilla supply.
+ *
+ * @param graph       lowered benchmark dataflow
+ * @param model       encoded-operation model
+ * @param zero_per_ms encoded-zero production rate; <= 0 means
+ *                    unconstrained
+ * @param pi8_per_ms  encoded-pi/8 production rate; <= 0 means
+ *                    unconstrained (Figure 8 constrains zeros only)
+ */
+ThrottledResult throttledRun(const DataflowGraph &graph,
+                             const EncodedOpModel &model,
+                             BandwidthPerMs zero_per_ms,
+                             BandwidthPerMs pi8_per_ms = 0);
+
+} // namespace qc
+
+#endif // QC_ARCH_THROTTLED_RUN_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The logical (encoded-level) gate vocabulary used throughout
+ * qalypso. Benchmarks are expressed over these gates; the codes
+ * module decides how each is realized fault-tolerantly on the
+ * [[7,1,3]] code (transversal vs. ancilla-consuming), and the arch
+ * module assigns latencies.
+ */
+
+#ifndef QC_CIRCUIT_GATE_HH
+#define QC_CIRCUIT_GATE_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace qc {
+
+/** Index of a logical qubit within a Circuit. */
+using Qubit = std::uint32_t;
+
+/** Sentinel for an unused operand slot. */
+constexpr Qubit invalidQubit = ~Qubit{0};
+
+/**
+ * Logical gate kinds.
+ *
+ * The set covers the paper's universal set on the [[7,1,3]] code
+ * (Section 2.1: transversal X, Y, Z, S, H, CX plus the
+ * non-transversal T = pi/8 gate), the composite gates the benchmark
+ * generators start from (Toffoli, controlled rotations), and the
+ * state preparation / measurement bookends.
+ */
+enum class GateKind : std::uint8_t
+{
+    PrepZ,    ///< Initialize a logical qubit to |0>.
+    PrepX,    ///< Initialize a logical qubit to |+>.
+    H,        ///< Hadamard (transversal).
+    X,        ///< Pauli X (transversal).
+    Y,        ///< Pauli Y (transversal).
+    Z,        ///< Pauli Z (transversal).
+    S,        ///< Phase gate (transversal on [[7,1,3]]).
+    Sdg,      ///< Inverse phase gate.
+    T,        ///< pi/8 gate (non-transversal; consumes a pi/8 ancilla).
+    Tdg,      ///< Inverse pi/8 gate (same cost as T).
+    CX,       ///< Controlled-NOT (transversal).
+    CZ,       ///< Controlled-Z (transversal).
+    RotZ,     ///< Single-qubit Z-rotation by pi/2^k; param = k.
+    CRotZ,    ///< Controlled Z-rotation by pi/2^k; param = k.
+    Toffoli,  ///< CCX; decomposed to Clifford+T by the kernels module.
+    Measure,  ///< Z-basis measurement of one logical qubit.
+
+    NumKinds
+};
+
+/** Number of logical operands a gate kind takes (1, 2 or 3). */
+constexpr int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::CRotZ:
+        return 2;
+      case GateKind::Toffoli:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+/** Human-readable mnemonic for a gate kind. */
+constexpr std::string_view
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::PrepZ:   return "prep0";
+      case GateKind::PrepX:   return "prep+";
+      case GateKind::H:       return "H";
+      case GateKind::X:       return "X";
+      case GateKind::Y:       return "Y";
+      case GateKind::Z:       return "Z";
+      case GateKind::S:       return "S";
+      case GateKind::Sdg:     return "Sdg";
+      case GateKind::T:       return "T";
+      case GateKind::Tdg:     return "Tdg";
+      case GateKind::CX:      return "CX";
+      case GateKind::CZ:      return "CZ";
+      case GateKind::RotZ:    return "RotZ";
+      case GateKind::CRotZ:   return "CRotZ";
+      case GateKind::Toffoli: return "Toffoli";
+      case GateKind::Measure: return "measure";
+      default:                return "?";
+    }
+}
+
+/**
+ * One logical gate instance.
+ *
+ * Operand slots beyond the gate's arity hold invalidQubit. The param
+ * field carries the rotation exponent k for RotZ/CRotZ (angle
+ * pi/2^k) and is 0 otherwise. A negative param denotes the inverse
+ * rotation (angle -pi/2^|k|).
+ */
+struct Gate
+{
+    GateKind kind{GateKind::PrepZ};
+    std::array<Qubit, 3> ops{invalidQubit, invalidQubit, invalidQubit};
+    std::int16_t param{0};
+
+    /** Arity of this instance. */
+    int arity() const { return gateArity(kind); }
+
+    /** True if any operand equals q. */
+    bool
+    touches(Qubit q) const
+    {
+        for (int i = 0; i < arity(); ++i) {
+            if (ops[static_cast<std::size_t>(i)] == q)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** True for kinds that are diagonal rotations parameterized by k. */
+constexpr bool
+isRotation(GateKind kind)
+{
+    return kind == GateKind::RotZ || kind == GateKind::CRotZ;
+}
+
+/** True for the preparation bookends. */
+constexpr bool
+isPrep(GateKind kind)
+{
+    return kind == GateKind::PrepZ || kind == GateKind::PrepX;
+}
+
+} // namespace qc
+
+#endif // QC_CIRCUIT_GATE_HH

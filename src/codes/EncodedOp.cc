@@ -1,0 +1,41 @@
+#include "codes/EncodedOp.hh"
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+Time
+EncodedOpModel::dataLatency(const Gate &gate) const
+{
+    switch (gate.kind) {
+      case GateKind::PrepZ:
+      case GateKind::PrepX:
+        // Swap in a fresh encoded zero (|+> folds a transversal H
+        // into the same handoff window).
+        return tech_.t1q;
+      case GateKind::H:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+        return tech_.t1q;
+      case GateKind::CX:
+      case GateKind::CZ:
+        return tech_.t2q;
+      case GateKind::T:
+      case GateKind::Tdg:
+        return pi8InteractLatency();
+      case GateKind::Measure:
+        return tech_.tmeas;
+      case GateKind::RotZ:
+      case GateKind::CRotZ:
+      case GateKind::Toffoli:
+        panic("EncodedOpModel: gate ", gateName(gate.kind),
+              " must be lowered before encoded execution");
+      default:
+        panic("EncodedOpModel: unknown gate kind");
+    }
+}
+
+} // namespace qc

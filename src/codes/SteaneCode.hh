@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The [[7,1,3]] Steane CSS code (paper Section 2.1).
+ *
+ * Qubits are indexed 0..6 and identified with the columns 1..7 of
+ * the [7,4,3] Hamming parity-check matrix (qubit q <-> column value
+ * q+1), so the syndrome of an error pattern is simply the XOR of
+ * (q+1) over its support and the perfect decoder flips qubit s-1.
+ *
+ * This module provides the code tables (stabilizer masks, logical
+ * operators, encoder schedule), the perfect-decoder logical-error
+ * test used by the Monte Carlo engine, and the transversality
+ * classification of the logical gate set (Section 2.1: X, Y, Z,
+ * Phase, Hadamard and CX are transversal; the pi/8 gate is not).
+ */
+
+#ifndef QC_CODES_STEANE_CODE_HH
+#define QC_CODES_STEANE_CODE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "circuit/Gate.hh"
+
+namespace qc {
+
+/** Static tables and helpers for the [[7,1,3]] code. */
+class SteaneCode
+{
+  public:
+    /** Physical qubits per encoded qubit. */
+    static constexpr int numPhysical = 7;
+
+    /** Bit mask type over the 7 physical qubits (bit q = qubit q). */
+    using Mask = std::uint8_t;
+
+    /** All seven qubits: the weight-7 logical X / logical Z mask. */
+    static constexpr Mask logicalMask = 0x7f;
+
+    /**
+     * The three X-stabilizer generator supports (identical masks
+     * serve as Z-stabilizers; the code is self-dual CSS). Row i
+     * contains the qubits whose column value has bit i set.
+     */
+    static constexpr std::array<Mask, 3> stabilizers = {
+        // bit0 of column: qubits {0, 2, 4, 6}
+        Mask{0b1010101},
+        // bit1 of column: qubits {1, 2, 5, 6}
+        Mask{0b1100110},
+        // bit2 of column: qubits {3, 4, 5, 6}
+        Mask{0b1111000},
+    };
+
+    /** Parity of a mask (true = odd). */
+    static bool
+    parity(Mask m)
+    {
+        return __builtin_parity(m);
+    }
+
+    /**
+     * Hamming syndrome of an error pattern: XOR of (q+1) over the
+     * support. Zero means "no detectable error".
+     */
+    static unsigned
+    syndromeOf(Mask error)
+    {
+        unsigned s = 0;
+        for (int q = 0; q < numPhysical; ++q) {
+            if (error & (Mask{1} << q))
+                s ^= static_cast<unsigned>(q + 1);
+        }
+        return s;
+    }
+
+    /**
+     * Perfect-decoder correction for a syndrome: the mask to flip
+     * (single qubit s-1), or 0 for the trivial syndrome.
+     */
+    static Mask
+    correctionFor(unsigned syndrome)
+    {
+        return syndrome == 0 ? Mask{0}
+                             : static_cast<Mask>(Mask{1}
+                                                 << (syndrome - 1));
+    }
+
+    /**
+     * True iff the error pattern, after perfect syndrome decoding,
+     * leaves a *logical* operator (uncorrectable error). The
+     * residual always has trivial syndrome, so it is either a
+     * stabilizer (even weight) or a logical representative (odd
+     * weight).
+     */
+    static bool
+    uncorrectable(Mask error)
+    {
+        const Mask residual =
+            static_cast<Mask>(error ^ correctionFor(syndromeOf(error)));
+        return parity(residual);
+    }
+
+    /**
+     * Minimum weight of the error pattern over its stabilizer coset
+     * (the physically meaningful "size" of an error: weight-4
+     * stabilizer-shaped junk is equivalent to no error at all).
+     */
+    static int
+    cosetMinWeight(Mask error)
+    {
+        int best = numPhysical;
+        for (unsigned combo = 0; combo < 8; ++combo) {
+            Mask s = 0;
+            for (int r = 0; r < 3; ++r) {
+                if (combo & (1u << r))
+                    s ^= stabilizers[static_cast<std::size_t>(r)];
+            }
+            const int w = __builtin_popcount(
+                static_cast<unsigned>(error ^ s));
+            if (w < best)
+                best = w;
+        }
+        return best;
+    }
+
+    /**
+     * True iff the error is *not* equivalent (modulo stabilizers) to
+     * a weight <= 1 error, i.e. a single downstream round of ideal
+     * QEC cannot be guaranteed to remove it. This is the acceptance
+     * criterion used when grading prepared ancillae (Figure 4).
+     */
+    static bool
+    badCoset(Mask error)
+    {
+        return cosetMinWeight(error) > 1;
+    }
+
+    /**
+     * Transversality of the logical gate set on this code
+     * (Section 2.1). Preparation and measurement are grouped with
+     * the transversal operations: they are realized bitwise.
+     */
+    static bool
+    transversal(GateKind kind)
+    {
+        switch (kind) {
+          case GateKind::T:
+          case GateKind::Tdg:
+          case GateKind::RotZ:
+          case GateKind::CRotZ:
+          case GateKind::Toffoli:
+            return false;
+          default:
+            return true;
+        }
+    }
+
+    /** One CX of the encoder schedule. */
+    struct EncoderCx
+    {
+        int control;
+        int target;
+        int round; ///< 0, 1 or 2: CXs in a round act on disjoint qubits
+    };
+
+    /**
+     * The Basic Encoded Zero Ancilla Prepare circuit (Fig 3b):
+     * Hadamards on the three seed qubits, then nine CX in three
+     * fully-parallel rounds. Seeds are chosen so that seed i fans
+     * out stabilizer row i.
+     */
+    static constexpr std::array<int, 3> encoderSeeds = {0, 1, 3};
+
+    /** The nine encoder CXs grouped in three disjoint rounds. */
+    static constexpr std::array<EncoderCx, 9> encoderCxs = {{
+        {0, 2, 0}, {1, 6, 0}, {3, 5, 0},
+        {0, 4, 1}, {1, 2, 1}, {3, 6, 1},
+        {0, 6, 2}, {1, 5, 2}, {3, 4, 2},
+    }};
+
+    /**
+     * The weight-3 logical-Z representative measured by the
+     * verification step with its 3-qubit cat state (Fig 4).
+     *
+     * The support {1, 4, 6} (= logical Z times stabilizer rows 0
+     * and 2) is chosen to match the encoder schedule above: every
+     * uncorrectable X pattern reachable from a SINGLE fault in the
+     * Basic-0 circuit — the late-seed and last-round CX patterns
+     * {0,6}, {1,5} and {3,4} — has odd overlap with this support and
+     * is therefore detected. (A test enumerates all single faults
+     * and checks this property; see tests/codes.)
+     */
+    static constexpr Mask verifyMask = Mask{0b1010010}; // {1, 4, 6}
+};
+
+} // namespace qc
+
+#endif // QC_CODES_STEANE_CODE_HH

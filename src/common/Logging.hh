@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal status/error reporting in the spirit of gem5's logging.hh:
+ * panic() for internal invariant violations (aborts), fatal() for
+ * user-input errors (exits cleanly), warn()/inform() for status.
+ */
+
+#ifndef QC_COMMON_LOGGING_HH
+#define QC_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace qc {
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream ss;
+    (ss << ... << std::forward<Args>(args));
+    return ss.str();
+}
+
+} // namespace detail
+
+/** Report an internal bug and abort. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::cerr << "panic: "
+              << detail::concat(std::forward<Args>(args)...) << std::endl;
+    std::abort();
+}
+
+/** Report an unrecoverable user error and exit(1). Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::cerr << "fatal: "
+              << detail::concat(std::forward<Args>(args)...) << std::endl;
+    std::exit(1);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::cerr << "warn: "
+              << detail::concat(std::forward<Args>(args)...) << std::endl;
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::cout << "info: "
+              << detail::concat(std::forward<Args>(args)...) << std::endl;
+}
+
+} // namespace qc
+
+#endif // QC_COMMON_LOGGING_HH

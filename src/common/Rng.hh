@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for Monte Carlo
+ * simulation. We use xoshiro256** seeded via SplitMix64: fast,
+ * high-quality, and fully reproducible across platforms (unlike
+ * std::mt19937_64 + std::uniform_real_distribution, whose output is
+ * implementation-defined for some distributions).
+ */
+
+#ifndef QC_COMMON_RNG_HH
+#define QC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace qc {
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be handed to
+ * standard-library facilities where cross-platform reproducibility
+ * does not matter.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        // 53 high-quality bits -> [0,1) with full double resolution.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial: true with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform01() < p;
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless bounded sampling, with the
+        // simple rejection fix-up for exactness.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Derive an independent child stream (for parallel replicas). */
+    Rng
+    split()
+    {
+        return Rng((*this)() ^ 0xd2b74407b1ce6e93ull);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace qc
+
+#endif // QC_COMMON_RNG_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fundamental unit types shared by all qalypso modules.
+ *
+ * All simulated time is kept in 64-bit integer nanoseconds so that the
+ * ion-trap latency constants from the paper (Tables 1 and 4, given in
+ * microseconds) are exactly representable and event ordering is
+ * deterministic. Areas are kept in macroblocks (Section 4.1); several
+ * derived areas in the paper are fractional, so we use double.
+ */
+
+#ifndef QC_COMMON_TYPES_HH
+#define QC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace qc {
+
+/** Simulated time in nanoseconds. */
+using Time = std::int64_t;
+
+/** Number of nanoseconds per microsecond. */
+constexpr Time nsPerUs = 1000;
+
+/** Number of nanoseconds per millisecond. */
+constexpr Time nsPerMs = 1000000;
+
+/** Convert whole microseconds to Time (exact). */
+constexpr Time
+usec(std::int64_t us)
+{
+    return us * nsPerUs;
+}
+
+/** Convert whole milliseconds to Time (exact). */
+constexpr Time
+msec(std::int64_t ms)
+{
+    return ms * nsPerMs;
+}
+
+/** Convert a Time to (possibly fractional) microseconds. */
+constexpr double
+toUs(Time t)
+{
+    return static_cast<double>(t) / nsPerUs;
+}
+
+/** Convert a Time to (possibly fractional) milliseconds. */
+constexpr double
+toMs(Time t)
+{
+    return static_cast<double>(t) / nsPerMs;
+}
+
+/** Layout area in macroblocks (Section 4.1). */
+using Area = double;
+
+/**
+ * Production or consumption bandwidth. The paper quotes all
+ * bandwidths in items per millisecond ("encoded ancillae / ms",
+ * "qubits / ms"); we store exactly that unit.
+ */
+using BandwidthPerMs = double;
+
+/**
+ * Convert a per-item latency into a bandwidth, optionally with
+ * multiple items emitted per completion and multiple internal
+ * pipeline stages (Table 5's "Stages" column): a unit with s internal
+ * stages initiates a new batch every latency/s.
+ *
+ * @param latency   total latency of the unit for one batch
+ * @param items     items produced per batch
+ * @param stages    internal pipeline stages within the unit
+ * @return items per millisecond
+ */
+constexpr BandwidthPerMs
+bandwidthOf(Time latency, double items = 1.0, int stages = 1)
+{
+    return items * stages * static_cast<double>(nsPerMs)
+        / static_cast<double>(latency);
+}
+
+} // namespace qc
+
+#endif // QC_COMMON_TYPES_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Monte Carlo simulation of the encoded-zero ancilla preparation
+ * strategies of paper Section 2.3 / Figure 4, and of the pi/8
+ * ancilla conversion of Section 2.4 / Figure 5b.
+ *
+ * Each strategy is simulated at the physical-circuit level with
+ * Pauli-frame tracking: gate errors at rate pGate on every prep,
+ * one-qubit gate, two-qubit gate and measurement; movement errors at
+ * rate pMove per movement op (counts set by a MovementModel, by
+ * default calibrated from the Fig 11-style factory layout); CX
+ * propagation of bit/phase flips; verification post-selection on
+ * cat-state parity; and perfect-decoder classification of the
+ * residual error on the output block.
+ */
+
+#ifndef QC_ERROR_ANCILLA_SIM_HH
+#define QC_ERROR_ANCILLA_SIM_HH
+
+#include <cstdint>
+
+#include "common/Params.hh"
+#include "common/Rng.hh"
+#include "common/Stats.hh"
+#include "error/PauliFrame.hh"
+
+namespace qc {
+
+/** The four preparation strategies of Figure 4 (plus bare basic). */
+enum class ZeroPrepStrategy
+{
+    Basic,            ///< Fig 3b only (error 1.8e-3 in the paper)
+    VerifyOnly,       ///< Fig 4a (3.7e-4)
+    CorrectOnly,      ///< Fig 4b (1.1e-3)
+    VerifyAndCorrect, ///< Fig 4c (2.9e-5)
+};
+
+/** Display name for a strategy. */
+const char *zeroPrepStrategyName(ZeroPrepStrategy strategy);
+
+/**
+ * What a correction stage does when its extracted syndrome (or the
+ * logical parity of the readout word) is non-trivial.
+ *
+ * The paper's Fig 4b/4c circuits apply the decoded fix in place
+ * (ApplyFix). A factory producing short-lived ancillae can instead
+ * discard and recycle the block (DiscardOnSyndrome), which the paper
+ * motivates in Section 3 and which strictly dominates in output
+ * fidelity at a small yield cost. The Figure 4 bench reports both.
+ */
+enum class CorrectionSemantics
+{
+    DiscardOnSyndrome, ///< recycle the block on any detected error
+    ApplyFix,          ///< apply the decoded single-qubit patch
+};
+
+/**
+ * Movement operations charged around each physical gate
+ * (Section 2.2: "the addition of qubit movement error from our
+ * detailed layout"). Defaults approximate the hand-optimized
+ * schedule of the Fig 11 factory: 30 straight moves and 8 turns
+ * over ~19 gate ops, i.e. roughly 1-2 moves and half a turn per
+ * gate operand; the layout module can produce calibrated instances
+ * from routed layouts.
+ */
+struct MovementModel
+{
+    /** Straight moves charged per two-qubit gate. */
+    int movesPerCx = 3;
+    /** Turns charged per two-qubit gate. */
+    int turnsPerCx = 1;
+    /** Straight moves charged per measurement (to the gate port). */
+    int movesPerMeas = 1;
+    /** No movement by default for 1q gates/preps (in-trap ops). */
+    int movesPer1q = 0;
+};
+
+/** Outcome of a single simulated preparation. */
+struct PrepOutcome
+{
+    bool discarded = false; ///< a verification failed (pre-retry)
+    bool logicalX = false;  ///< uncorrectable X on the output block
+    bool logicalZ = false;  ///< uncorrectable Z on the output block
+
+    /** Any uncorrectable error. */
+    bool failed() const { return logicalX || logicalZ; }
+};
+
+/** Aggregated Monte Carlo estimate. */
+struct PrepEstimate
+{
+    std::uint64_t trials = 0;
+    std::uint64_t failures = 0;    ///< uncorrectable outputs
+    std::uint64_t discards = 0;    ///< verification rejections
+    std::uint64_t verifyTrials = 0;///< verification attempts made
+    std::uint64_t correctionDiscards = 0; ///< correction recycles
+    std::uint64_t correctionTrials = 0;   ///< correction attempts
+
+    /** Estimated output logical error rate. */
+    double errorRate() const;
+
+    /** 95% Wilson interval on the error rate. */
+    Interval errorInterval() const;
+
+    /** Estimated per-attempt verification failure rate. */
+    double discardRate() const;
+
+    /** Estimated per-attempt correction-stage recycle rate. */
+    double correctionDiscardRate() const;
+};
+
+/**
+ * Simulator for encoded-ancilla preparation error rates.
+ */
+class AncillaPrepSimulator
+{
+  public:
+    AncillaPrepSimulator(
+        ErrorParams errors, MovementModel movement, std::uint64_t seed,
+        CorrectionSemantics semantics =
+            CorrectionSemantics::DiscardOnSyndrome);
+
+    /**
+     * Simulate one preparation with the given strategy. Verified
+     * strategies retry each block until it passes verification
+     * (discards are tallied, matching the factory's recycling of
+     * failed blocks).
+     */
+    PrepOutcome simulateOnce(ZeroPrepStrategy strategy);
+
+    /** Run many trials and aggregate. */
+    PrepEstimate estimate(ZeroPrepStrategy strategy,
+                          std::uint64_t trials);
+
+    /**
+     * Simulate one pi/8 ancilla conversion (Fig 5b): a verified and
+     * corrected zero ancilla plus a 7-qubit cat state, transversal
+     * interaction, decode and measurement fix-up. The outcome
+     * classifies the residual error on the produced pi/8 block.
+     */
+    PrepOutcome simulatePi8Once();
+
+    /** Aggregate pi/8 conversion failure rate. */
+    PrepEstimate estimatePi8(std::uint64_t trials);
+
+  private:
+    /** Run the Fig 3b basic encode on block at base offset. */
+    void basicEncode(int base);
+
+    /**
+     * Verify block with a 3-qubit cat (measure the weight-3 logical
+     * Z representative). Returns true if accepted. Tallies a
+     * verification attempt.
+     */
+    bool verifyBlock(int base);
+
+    /** Prepare a block with optional verification (with retries). */
+    void prepareBlock(int base, bool verified);
+
+    /**
+     * Bit-correction stage on block A using freshly prepared block
+     * B (Steane-style syndrome extraction). In the factory setting
+     * a detected error discards the block instead of patching it —
+     * ancillae are cheap to recycle (Section 3) — so this returns
+     * false when the extracted X syndrome or the logical parity of
+     * the readout word is non-trivial.
+     */
+    bool bitCorrect(int baseA, int baseB);
+
+    /** Phase-correction stage (Z syndrome via X-basis readout). */
+    bool phaseCorrect(int baseA, int baseC);
+
+    /** Movement error charges. */
+    void chargeCxMovement(int a, int b);
+    void chargeMeasMovement(int q);
+
+    /** Gate wrappers (apply + inject). */
+    void gateH(int q);
+    void gatePrep(int q);
+    void gateCx(int control, int target);
+    /** Measure in Z: returns whether the *recorded outcome* flipped. */
+    bool measureZFlip(int q);
+    /** Measure in X basis (H then Z). */
+    bool measureXFlip(int q);
+
+    /** Classify the residual on a block as a PrepOutcome. */
+    PrepOutcome classify(int base) const;
+
+    ErrorParams errors_;
+    MovementModel movement_;
+    CorrectionSemantics semantics_;
+    Rng rng_;
+    PauliFrame frame_;
+    std::uint64_t verifyAttempts_ = 0;
+    std::uint64_t verifyFailures_ = 0;
+    std::uint64_t correctionAttempts_ = 0;
+    std::uint64_t correctionFailures_ = 0;
+};
+
+} // namespace qc
+
+#endif // QC_ERROR_ANCILLA_SIM_HH

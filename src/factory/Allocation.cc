@@ -1,0 +1,23 @@
+#include "factory/Allocation.hh"
+
+namespace qc {
+
+FactoryAllocation
+allocateForBandwidth(const ZeroFactory &zero, const Pi8Factory &pi8,
+                     BandwidthPerMs zero_qec_per_ms,
+                     BandwidthPerMs pi8_per_ms)
+{
+    FactoryAllocation alloc;
+    alloc.zeroQecBandwidth = zero_qec_per_ms;
+    alloc.pi8Bandwidth = pi8_per_ms;
+    alloc.zeroFactoryArea = zero.totalArea();
+    alloc.pi8FactoryArea = pi8.totalArea();
+
+    alloc.zeroFactoriesForQec = zero_qec_per_ms / zero.throughput();
+    alloc.pi8Factories = pi8_per_ms / pi8.throughput();
+    // Each pi/8 ancilla consumes one encoded zero (Fig 5b).
+    alloc.zeroFactoriesForPi8 = pi8_per_ms / zero.throughput();
+    return alloc;
+}
+
+} // namespace qc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sizing ancilla-generation hardware to a target bandwidth (paper
+ * Section 5.1, Table 9): how much chip area must be devoted to
+ * encoded-zero factories (for QEC) and pi/8 factories (for
+ * non-transversal gates, including the zero factories feeding them)
+ * so a circuit can run at the speed of data.
+ */
+
+#ifndef QC_FACTORY_ALLOCATION_HH
+#define QC_FACTORY_ALLOCATION_HH
+
+#include "factory/Pi8Factory.hh"
+#include "factory/ZeroFactory.hh"
+
+namespace qc {
+
+/** Factory counts and areas for a bandwidth requirement. */
+struct FactoryAllocation
+{
+    /** Requested encoded-zero bandwidth for QEC (per ms). */
+    BandwidthPerMs zeroQecBandwidth = 0;
+    /** Requested encoded-pi/8 bandwidth (per ms). */
+    BandwidthPerMs pi8Bandwidth = 0;
+
+    /** Fractional zero factories dedicated to QEC. */
+    double zeroFactoriesForQec = 0;
+    /** Fractional pi/8 conversion factories. */
+    double pi8Factories = 0;
+    /** Fractional zero factories feeding the pi/8 factories. */
+    double zeroFactoriesForPi8 = 0;
+
+    /** Area of a single zero / pi/8 factory (for conversions). */
+    Area zeroFactoryArea = 0;
+    Area pi8FactoryArea = 0;
+
+    /** QEC-generation area (Table 9 column 4). */
+    Area
+    qecArea() const
+    {
+        return zeroFactoriesForQec * zeroFactoryArea;
+    }
+
+    /** pi/8-generation area including feeders (Table 9 column 5). */
+    Area
+    pi8Area() const
+    {
+        return pi8Factories * pi8FactoryArea
+            + zeroFactoriesForPi8 * zeroFactoryArea;
+    }
+
+    /** All ancilla-generation area. */
+    Area totalArea() const { return qecArea() + pi8Area(); }
+};
+
+/**
+ * Size factories for the given bandwidths (fractional counts, as in
+ * the paper's Table 9 areas).
+ */
+FactoryAllocation allocateForBandwidth(const ZeroFactory &zero,
+                                       const Pi8Factory &pi8,
+                                       BandwidthPerMs zero_qec_per_ms,
+                                       BandwidthPerMs pi8_per_ms);
+
+} // namespace qc
+
+#endif // QC_FACTORY_ALLOCATION_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The recursive exact pi/2^k gate construction of paper Figure 6
+ * (Section 2.5 / 4.4.2): a cascade of pi/2^i ancilla factories
+ * (i = 3..k) with k-2 CX and X gates, where each measurement has an
+ * equal chance of requiring the next, larger rotation.
+ *
+ * The paper does not use this construction in its main circuits
+ * (it requires arbitrary-precision physical rotations) but analyzes
+ * its data-critical-path advantage; this model backs the
+ * corresponding ablation bench.
+ */
+
+#ifndef QC_FACTORY_CASCADE_HH
+#define QC_FACTORY_CASCADE_HH
+
+#include "common/Params.hh"
+#include "common/Types.hh"
+
+namespace qc {
+
+/** Analytic model of the Figure 6 cascade. */
+class CascadeModel
+{
+  public:
+    /**
+     * Expected number of CX (ancilla interaction) gates on the data
+     * critical path for an exact pi/2^k gate: the first interaction
+     * always happens; stage i+1 runs only if stage i measured the
+     * "wrong" state (probability 1/2 each).
+     */
+    static double
+    expectedCxCount(int k)
+    {
+        if (k <= 2)
+            return k >= 1 ? 1.0 : 0.0;
+        const int stages = k - 2;
+        double expected = 0.0;
+        double prob = 1.0;
+        for (int i = 0; i < stages; ++i) {
+            expected += prob;
+            prob *= 0.5;
+        }
+        return expected;
+    }
+
+    /** Expected X (fix-up) gates: one fewer than the CX count. */
+    static double
+    expectedXCount(int k)
+    {
+        const double cx = expectedCxCount(k);
+        return cx > 1.0 ? cx - 1.0 : 0.0;
+    }
+
+    /**
+     * Expected data-path latency of an exact pi/2^k via the
+     * cascade: each stage is an ancilla interaction (CX), a
+     * measurement, and a conditional X.
+     */
+    static Time
+    expectedDataLatency(int k, const IonTrapParams &tech)
+    {
+        const double stages = expectedCxCount(k);
+        const double per_stage = static_cast<double>(
+            tech.t2q + tech.tmeas + tech.t1q);
+        return static_cast<Time>(stages * per_stage);
+    }
+
+    /** Worst-case latency: every stage fires (k-2 stages). */
+    static Time
+    worstCaseDataLatency(int k, const IonTrapParams &tech)
+    {
+        const int stages = k <= 2 ? (k >= 1 ? 1 : 0) : k - 2;
+        return stages * (tech.t2q + tech.tmeas + tech.t1q);
+    }
+};
+
+} // namespace qc
+
+#endif // QC_FACTORY_CASCADE_HH

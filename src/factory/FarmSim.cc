@@ -1,0 +1,135 @@
+#include "factory/FarmSim.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+namespace {
+
+/**
+ * An initiation-limited bank of pipelined units: `count` units each
+ * able to hold `stages` in-flight batches, so a new batch may start
+ * every latency/stages per unit. The k-th initiation across the
+ * bank completes at ceil(k / (count*stages)) * latency... more
+ * precisely, slot k starts at ceil(k / (count*stages)) *
+ * (latency / stages) and finishes latency later. Items also wait
+ * for their inputs.
+ */
+class StageBank
+{
+  public:
+    explicit StageBank(const StageDesign &stage)
+        : latency_(stage.unit.latency),
+          interval_(stage.unit.latency / stage.unit.stages),
+          slots_(static_cast<std::size_t>(stage.count)
+                     * static_cast<std::size_t>(stage.unit.stages),
+                 0)
+    {
+    }
+
+    /**
+     * Process one batch whose inputs are ready at `ready`; returns
+     * its completion time. Initiations are FCFS over the bank's
+     * pipeline slots.
+     */
+    Time
+    process(Time ready)
+    {
+        // Earliest-available pipeline slot.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < slots_.size(); ++i) {
+            if (slots_[i] < slots_[best])
+                best = i;
+        }
+        const Time start = std::max(ready, slots_[best]);
+        // The slot frees one initiation interval later; the batch
+        // itself completes after the full unit latency.
+        slots_[best] = start + interval_;
+        return start + latency_;
+    }
+
+  private:
+    Time latency_;
+    Time interval_;
+    std::vector<Time> slots_;
+};
+
+} // namespace
+
+FarmSimResult
+simulateZeroFactory(const ZeroFactory &factory, int candidates,
+                    std::uint64_t seed)
+{
+    if (candidates < 6)
+        fatal("simulateZeroFactory: need at least 6 candidates");
+
+    const auto &stages = factory.stages();
+    // Stage order per ZeroFactory: prep, cx, cat, verify, correct.
+    StageBank prep(stages[0]);
+    StageBank cx(stages[1]);
+    StageBank cat(stages[2]);
+    StageBank verify(stages[3]);
+    StageBank correct(stages[4]);
+
+    Rng rng(seed);
+    FarmSimResult result;
+
+    // Verified candidates waiting to be grouped in threes for the
+    // correction stage (A corrected by B and C).
+    std::vector<Time> verified_ready;
+    Time last_output = 0;
+    Time first_batch_output = 0;
+    std::uint64_t outputs_before_warmup = 0;
+    const int warmup = std::max(2, candidates / 10);
+
+    for (int i = 0; i < candidates; ++i) {
+        // Ten physical qubits per candidate: seven for the encode
+        // network, three for its verification cat state.
+        Time qubits = 0;
+        for (int q = 0; q < 10; ++q)
+            qubits = std::max(qubits, prep.process(0));
+
+        const Time encoded = cx.process(qubits);
+        const Time cat_ready = cat.process(qubits);
+        const Time checked =
+            verify.process(std::max(encoded, cat_ready));
+
+        if (!rng.bernoulli(factory.acceptRate())) {
+            ++result.discarded;
+            continue;
+        }
+        verified_ready.push_back(checked);
+
+        if (verified_ready.size() == 3) {
+            const Time inputs = std::max(
+                {verified_ready[0], verified_ready[1],
+                 verified_ready[2]});
+            const Time done = correct.process(inputs);
+            verified_ready.clear();
+            ++result.produced;
+            if (result.produced == 1) {
+                result.firstOutput = done;
+                first_batch_output = done;
+            }
+            if (result.produced
+                <= static_cast<std::uint64_t>(warmup)) {
+                ++outputs_before_warmup;
+                first_batch_output = done;
+            }
+            last_output = std::max(last_output, done);
+        }
+    }
+
+    const std::uint64_t steady =
+        result.produced - outputs_before_warmup;
+    if (steady > 0 && last_output > first_batch_output) {
+        result.throughput = static_cast<double>(steady)
+            / toMs(last_output - first_batch_output);
+    }
+    return result;
+}
+
+} // namespace qc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Functional-unit specifications for pipelined ancilla factories
+ * (paper Section 4.4, Tables 5 and 7).
+ *
+ * Each unit is described symbolically in the technology's physical
+ * latencies; bandwidths are derived as
+ *     items x internalStages / latency
+ * which reproduces the paper's Table 5/7 numbers exactly under the
+ * ion-trap parameters of Tables 1 and 4.
+ */
+
+#ifndef QC_FACTORY_FUNCTIONAL_UNIT_HH
+#define QC_FACTORY_FUNCTIONAL_UNIT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/Params.hh"
+#include "common/Types.hh"
+
+namespace qc {
+
+/** One pipeline functional unit (a row of Table 5 or Table 7). */
+struct FunctionalUnitSpec
+{
+    std::string name;
+    Time latency = 0;      ///< end-to-end latency of one batch
+    int stages = 1;        ///< internal pipeline stages
+    double itemsIn = 1;    ///< physical qubits consumed per batch
+    double itemsOut = 1;   ///< physical qubits produced per batch
+    Area area = 0;         ///< macroblocks per unit
+    int height = 0;        ///< macroblocks of stage-column height
+
+    /** Input bandwidth in qubits per millisecond. */
+    BandwidthPerMs
+    inBandwidth() const
+    {
+        return bandwidthOf(latency, itemsIn, stages);
+    }
+
+    /** Output bandwidth in qubits per millisecond. */
+    BandwidthPerMs
+    outBandwidth() const
+    {
+        return bandwidthOf(latency, itemsOut, stages);
+    }
+};
+
+/** The functional units of the encoded-zero factory (Table 5). */
+struct ZeroFactoryUnits
+{
+    FunctionalUnitSpec zeroPrep;   ///< physical |0> (+ optional H)
+    FunctionalUnitSpec cxStage;    ///< the 9-CX encode network
+    FunctionalUnitSpec catPrep;    ///< 3-qubit cat states
+    FunctionalUnitSpec verify;     ///< cat-state verification
+    FunctionalUnitSpec bpCorrect;  ///< bit + phase correction
+
+    /**
+     * @param tech        physical latencies
+     * @param accept_rate verification acceptance probability
+     *                    (paper: 99.8%, from the Monte Carlo runs)
+     */
+    ZeroFactoryUnits(const IonTrapParams &tech, double accept_rate);
+};
+
+/** The pipeline stages of the pi/8 conversion factory (Table 7). */
+struct Pi8FactoryUnits
+{
+    FunctionalUnitSpec catPrep7;     ///< 7-qubit cat states
+    FunctionalUnitSpec transversal;  ///< CX/CS/CZ + transversal pi/8
+    FunctionalUnitSpec decode;       ///< decode (plus store)
+    FunctionalUnitSpec fixup;        ///< H / measure / transversal Z
+
+    explicit Pi8FactoryUnits(const IonTrapParams &tech);
+};
+
+} // namespace qc
+
+#endif // QC_FACTORY_FUNCTIONAL_UNIT_HH

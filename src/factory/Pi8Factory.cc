@@ -1,0 +1,98 @@
+#include "factory/Pi8Factory.hh"
+
+#include <cmath>
+
+namespace qc {
+
+Pi8Factory::Pi8Factory(IonTrapParams tech) : tech_(tech)
+{
+    const Pi8FactoryUnits units(tech);
+
+    // One transversal unit is the capacity reference; the cat
+    // preparation stage is sized as the (intentional) bottleneck:
+    // as many cat units as the transversal stage can absorb, since
+    // half of the transversal stage's input qubits come from cat
+    // states and half from encoded zeroes.
+    const int transversal_count = 1;
+    const double transversal_cap =
+        transversal_count * units.transversal.inBandwidth();
+    const int cat_count = static_cast<int>(std::floor(
+        (transversal_cap / 2.0) / units.catPrep7.outBandwidth()));
+
+    // Actual qubit flow through the transversal stage: cat qubits
+    // plus an equal flow of encoded-zero qubits.
+    const double flow =
+        2.0 * cat_count * units.catPrep7.outBandwidth();
+
+    const int decode_count = static_cast<int>(
+        std::ceil(flow / units.decode.inBandwidth()));
+
+    const double decode_out_flow =
+        flow * units.decode.itemsOut / units.decode.itemsIn;
+    const int fixup_count = static_cast<int>(
+        std::ceil(decode_out_flow / units.fixup.inBandwidth()));
+
+    stages_ = {
+        {units.catPrep7, cat_count},
+        {units.transversal, transversal_count},
+        {units.decode, decode_count},
+        {units.fixup, fixup_count},
+    };
+
+    // All three crossbars move qubits in both directions (recycled
+    // cat qubits flow back), so each gets two columns sized to the
+    // taller adjacent stage.
+    const int h1 = stages_[0].totalHeight();
+    const int h2 = stages_[1].totalHeight();
+    const int h3 = stages_[2].totalHeight();
+    const int h4 = stages_[3].totalHeight();
+    crossbars_ = {
+        {2, std::max(h1, h2)},
+        {2, std::max(h2, h3)},
+        {2, std::max(h3, h4)},
+    };
+}
+
+Area
+Pi8Factory::functionalUnitArea() const
+{
+    Area area = 0;
+    for (const StageDesign &s : stages_)
+        area += s.totalArea();
+    return area;
+}
+
+Area
+Pi8Factory::crossbarArea() const
+{
+    Area area = 0;
+    for (const CrossbarDesign &xb : crossbars_)
+        area += xb.area();
+    return area;
+}
+
+Area
+Pi8Factory::totalArea() const
+{
+    return functionalUnitArea() + crossbarArea();
+}
+
+BandwidthPerMs
+Pi8Factory::throughput() const
+{
+    // Each 7-qubit cat state yields one encoded pi/8 ancilla.
+    return stages_[0].aggregateOut() / 7.0;
+}
+
+Time
+Pi8Factory::latency() const
+{
+    const Time transit = 2 * tech_.tmove + 2 * tech_.tturn;
+    Time total = 0;
+    for (const StageDesign &s : stages_)
+        total += s.unit.latency;
+    total += 3 * transit;
+    return total;
+}
+
+} // namespace qc

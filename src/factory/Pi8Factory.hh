@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The encoded pi/8 ancilla factory of paper Section 4.4.2
+ * (Figure 5b, Tables 7-8): converts encoded zero ancillae into
+ * encoded pi/8 ancillae via a 7-qubit cat state, a transversal
+ * interaction stage, a decode stage and a measurement fix-up.
+ *
+ * Unit counts are derived by bandwidth matching with the 7-qubit
+ * cat preparation as the designated bottleneck (the paper's
+ * choice). Under the paper's ion-trap parameters this reproduces
+ * Table 8: 4 cat units, 1 transversal unit, 4 decode units, 2
+ * fix-up units; 147 macroblocks of functional units plus 256 of
+ * crossbars = 403 total; throughput 18.3 encoded pi/8 ancillae/ms.
+ */
+
+#ifndef QC_FACTORY_PI8_FACTORY_HH
+#define QC_FACTORY_PI8_FACTORY_HH
+
+#include <vector>
+
+#include "factory/ZeroFactory.hh"
+
+namespace qc {
+
+/** The pipelined pi/8 conversion factory. */
+class Pi8Factory
+{
+  public:
+    explicit Pi8Factory(IonTrapParams tech = IonTrapParams::paper());
+
+    /** The four stage designs in pipeline order (Table 8). */
+    const std::vector<StageDesign> &stages() const { return stages_; }
+
+    /** The three inter-stage crossbars (two columns each). */
+    const std::vector<CrossbarDesign> &crossbars() const
+    {
+        return crossbars_;
+    }
+
+    /** Total functional-unit area (147 macroblocks). */
+    Area functionalUnitArea() const;
+
+    /** Total crossbar area (256 macroblocks). */
+    Area crossbarArea() const;
+
+    /** Conversion-only area (403 macroblocks; excludes the zero
+     *  factories feeding this one). */
+    Area totalArea() const;
+
+    /** 18.3 encoded pi/8 ancillae / ms (cat-stage limited). */
+    BandwidthPerMs throughput() const;
+
+    /**
+     * Encoded-zero input bandwidth required at full rate: one
+     * encoded zero per produced pi/8 ancilla.
+     */
+    BandwidthPerMs zeroInputBandwidth() const { return throughput(); }
+
+    /** End-to-end conversion latency for one ancilla. */
+    Time latency() const;
+
+    const IonTrapParams &tech() const { return tech_; }
+
+  private:
+    IonTrapParams tech_;
+    std::vector<StageDesign> stages_;
+    std::vector<CrossbarDesign> crossbars_;
+};
+
+} // namespace qc
+
+#endif // QC_FACTORY_PI8_FACTORY_HH

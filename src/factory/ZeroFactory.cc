@@ -1,0 +1,141 @@
+#include "factory/ZeroFactory.hh"
+
+#include <cmath>
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+SimpleZeroFactory::SimpleZeroFactory(IonTrapParams tech) : tech_(tech)
+{
+}
+
+Time
+SimpleZeroFactory::latency() const
+{
+    return tech_.tprep + 2 * tech_.tmeas + 6 * tech_.t2q
+        + 2 * tech_.t1q + 8 * tech_.tturn + 30 * tech_.tmove;
+}
+
+BandwidthPerMs
+SimpleZeroFactory::throughput() const
+{
+    return bandwidthOf(latency());
+}
+
+Area
+SimpleZeroFactory::area() const
+{
+    return 90;
+}
+
+ZeroFactory::ZeroFactory(IonTrapParams tech, double accept_rate)
+    : tech_(tech), acceptRate_(accept_rate)
+{
+    if (accept_rate <= 0.0 || accept_rate > 1.0)
+        fatal("ZeroFactory: acceptance rate must be in (0, 1]");
+
+    const ZeroFactoryUnits units(tech, accept_rate);
+
+    // The single CX-network unit is the design reference: all other
+    // stages are sized to keep it saturated (Section 4.4.1).
+    const int cx_count = 1;
+    const double encoded_flow =
+        cx_count * units.cxStage.outBandwidth(); // qubits/ms
+
+    // Each seven-qubit encoded ancilla is verified against a
+    // three-qubit cat state: cat flow is bandwidth-matched 7:3.
+    const double cat_flow = encoded_flow * 3.0 / 7.0;
+    const int cat_count = static_cast<int>(
+        std::ceil(cat_flow / units.catPrep.outBandwidth()));
+
+    // Stage 1 feeds both the CX network and the cat preparation.
+    const double prep_flow = encoded_flow + cat_flow;
+    const int prep_count = static_cast<int>(
+        std::ceil(prep_flow / units.zeroPrep.outBandwidth()));
+
+    // Verification units receive the encoded qubits plus their cat
+    // qubits (10 per ancilla).
+    const int verify_count = static_cast<int>(
+        std::ceil((encoded_flow + cat_flow)
+                  / units.verify.inBandwidth()));
+
+    // Correction units receive the verified encoded qubits.
+    const double verified_flow = encoded_flow * acceptRate_;
+    const int correct_count = static_cast<int>(
+        std::ceil(verified_flow / units.bpCorrect.inBandwidth()));
+
+    stages_ = {
+        {units.zeroPrep, prep_count},
+        {units.cxStage, cx_count},
+        {units.catPrep, cat_count},
+        {units.verify, verify_count},
+        {units.bpCorrect, correct_count},
+    };
+
+    // Crossbars (Fig 13a): stage 1 funnels inward to the much
+    // smaller stage 2, so a single column suffices; the later
+    // boundaries move qubits both ways and get two columns. Height
+    // matches the taller adjacent stage column.
+    const int h1 = stages_[0].totalHeight();
+    const int h2 =
+        stages_[1].totalHeight() + stages_[2].totalHeight();
+    const int h3 = stages_[3].totalHeight();
+    const int h4 = stages_[4].totalHeight();
+    crossbars_ = {
+        {1, std::max(h1, h2)},
+        {2, std::max(h2, h3)},
+        {2, std::max(h3, h4)},
+    };
+}
+
+Area
+ZeroFactory::functionalUnitArea() const
+{
+    Area area = 0;
+    for (const StageDesign &s : stages_)
+        area += s.totalArea();
+    return area;
+}
+
+Area
+ZeroFactory::crossbarArea() const
+{
+    Area area = 0;
+    for (const CrossbarDesign &xb : crossbars_)
+        area += xb.area();
+    return area;
+}
+
+Area
+ZeroFactory::totalArea() const
+{
+    return functionalUnitArea() + crossbarArea();
+}
+
+BandwidthPerMs
+ZeroFactory::throughput() const
+{
+    const double encoded_flow = stages_[1].aggregateOut();
+    return encoded_flow / 7.0 * acceptRate_ / 3.0;
+}
+
+Time
+ZeroFactory::latency() const
+{
+    // One transit across a crossbar: enter, cross the two columns,
+    // turn into the next stage.
+    const Time transit = 2 * tech_.tmove + 2 * tech_.tturn;
+    Time total = 0;
+    // A produced ancilla passes prep, the CX network, verification
+    // and correction (the cat path runs concurrently and is
+    // shorter).
+    total += stages_[0].unit.latency;
+    total += stages_[1].unit.latency;
+    total += stages_[3].unit.latency;
+    total += stages_[4].unit.latency;
+    total += 3 * transit;
+    return total;
+}
+
+} // namespace qc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The fully-pipelined encoded-zero ancilla factory of paper
+ * Section 4.4.1 (Figures 12-13, Table 6), plus the simple
+ * non-pipelined factory of Section 4.3 (Figure 11) for comparison.
+ *
+ * The pipelined design is derived, not hard-coded: functional unit
+ * counts are chosen by matching the output bandwidth of each stage
+ * to the input bandwidth of the next, with the single CX-network
+ * unit as the reference (the paper's procedure). Under the paper's
+ * ion-trap parameters this reproduces Table 6 exactly: 24 zero
+ * preps, 1 CX unit, 1 cat unit, 3 verification units and 2 B/P
+ * correction units; 130 macroblocks of functional units plus 168 of
+ * crossbars = 298 total; throughput 10.5 encoded ancillae / ms.
+ */
+
+#ifndef QC_FACTORY_ZERO_FACTORY_HH
+#define QC_FACTORY_ZERO_FACTORY_HH
+
+#include <vector>
+
+#include "factory/FunctionalUnit.hh"
+
+namespace qc {
+
+/** One pipeline stage of a sized factory. */
+struct StageDesign
+{
+    FunctionalUnitSpec unit;
+    int count = 0;
+
+    /** Height of the stage column (units stacked vertically). */
+    int totalHeight() const { return count * unit.height; }
+
+    /** Macroblock area of all units in the stage. */
+    Area totalArea() const { return count * unit.area; }
+
+    /** Aggregate input bandwidth (qubits/ms). */
+    BandwidthPerMs aggregateIn() const
+    {
+        return count * unit.inBandwidth();
+    }
+
+    /** Aggregate output bandwidth (qubits/ms). */
+    BandwidthPerMs aggregateOut() const
+    {
+        return count * unit.outBandwidth();
+    }
+};
+
+/** A sized crossbar between two pipeline stages (Fig 13a). */
+struct CrossbarDesign
+{
+    int columns = 2; ///< one column per movement direction
+    int height = 0;  ///< matched to the taller adjacent stage
+
+    Area area() const { return static_cast<Area>(columns) * height; }
+};
+
+/** The simple (non-pipelined) factory of Figure 11. */
+class SimpleZeroFactory
+{
+  public:
+    explicit SimpleZeroFactory(
+        IonTrapParams tech = IonTrapParams::paper());
+
+    /**
+     * Latency of one complete preparation using the paper's
+     * hand-optimized schedule:
+     * tprep + 2 tmeas + 6 t2q + 2 t1q + 8 tturn + 30 tmove (323 us).
+     */
+    Time latency() const;
+
+    /** One ancilla per latency: 3.1 encoded ancillae / ms. */
+    BandwidthPerMs throughput() const;
+
+    /** 90 macroblocks (three gate rows plus communication rows). */
+    Area area() const;
+
+  private:
+    IonTrapParams tech_;
+};
+
+/** The pipelined encoded-zero factory (Fig 12, Table 6). */
+class ZeroFactory
+{
+  public:
+    /**
+     * @param tech        physical latencies (Tables 1 and 4)
+     * @param accept_rate verification acceptance rate (0.998 from
+     *                    the Section 2.3 Monte Carlo)
+     */
+    explicit ZeroFactory(IonTrapParams tech = IonTrapParams::paper(),
+                         double accept_rate = 0.998);
+
+    /** The five stage designs in pipeline order (Table 6). */
+    const std::vector<StageDesign> &stages() const { return stages_; }
+
+    /** The three inter-stage crossbars. */
+    const std::vector<CrossbarDesign> &crossbars() const
+    {
+        return crossbars_;
+    }
+
+    /** Total functional-unit area (130 macroblocks). */
+    Area functionalUnitArea() const;
+
+    /** Total crossbar area (168 macroblocks). */
+    Area crossbarArea() const;
+
+    /** Whole-factory area (298 macroblocks). */
+    Area totalArea() const;
+
+    /**
+     * Sustained output bandwidth: CX-stage qubit flow over seven
+     * qubits per ancilla, times the verification acceptance, times
+     * one third (two of three ancillae are consumed correcting the
+     * third): 10.5 encoded ancillae / ms.
+     */
+    BandwidthPerMs throughput() const;
+
+    /**
+     * End-to-end latency of one ancilla through the pipeline
+     * (unit latencies plus one crossbar transit per boundary).
+     */
+    Time latency() const;
+
+    /** Verification acceptance rate used in the design. */
+    double acceptRate() const { return acceptRate_; }
+
+    const IonTrapParams &tech() const { return tech_; }
+
+  private:
+    IonTrapParams tech_;
+    double acceptRate_;
+    std::vector<StageDesign> stages_;
+    std::vector<CrossbarDesign> crossbars_;
+};
+
+} // namespace qc
+
+#endif // QC_FACTORY_ZERO_FACTORY_HH

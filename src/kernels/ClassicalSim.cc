@@ -1,0 +1,58 @@
+#include "kernels/ClassicalSim.hh"
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+std::vector<bool>
+runClassical(const Circuit &circuit, std::vector<bool> initial)
+{
+    initial.resize(circuit.numQubits(), false);
+    for (const Gate &g : circuit.gates()) {
+        switch (g.kind) {
+          case GateKind::PrepZ:
+            initial[g.ops[0]] = false;
+            break;
+          case GateKind::X:
+            initial[g.ops[0]] = !initial[g.ops[0]];
+            break;
+          case GateKind::CX:
+            if (initial[g.ops[0]])
+                initial[g.ops[1]] = !initial[g.ops[1]];
+            break;
+          case GateKind::Toffoli:
+            if (initial[g.ops[0]] && initial[g.ops[1]])
+                initial[g.ops[2]] = !initial[g.ops[2]];
+            break;
+          case GateKind::Measure:
+            // Computational-basis measurement of a classical state
+            // is the identity on the bit vector.
+            break;
+          default:
+            panic("runClassical: non-classical gate ",
+                  gateName(g.kind));
+        }
+    }
+    return initial;
+}
+
+std::uint64_t
+packBits(const std::vector<bool> &state, Qubit base, Qubit count)
+{
+    std::uint64_t value = 0;
+    for (Qubit i = 0; i < count; ++i) {
+        if (state[base + i])
+            value |= std::uint64_t{1} << i;
+    }
+    return value;
+}
+
+void
+unpackBits(std::vector<bool> &state, Qubit base, Qubit count,
+           std::uint64_t value)
+{
+    for (Qubit i = 0; i < count; ++i)
+        state[base + i] = (value >> i) & 1;
+}
+
+} // namespace qc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exact classical simulation of computational-basis circuits.
+ *
+ * The adder kernels use only {PrepZ, X, CX, Toffoli}, all of which
+ * permute computational basis states, so their arithmetic can be
+ * verified exactly on classical bit vectors. Used heavily by the
+ * test suite.
+ */
+
+#ifndef QC_KERNELS_CLASSICAL_SIM_HH
+#define QC_KERNELS_CLASSICAL_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/Circuit.hh"
+
+namespace qc {
+
+/**
+ * Run a computational-basis circuit on an initial bit assignment.
+ *
+ * @param circuit  circuit containing only PrepZ/X/CX/Toffoli/Measure
+ * @param initial  initial bit per qubit (padded with zeros if short)
+ * @return final bit per qubit
+ *
+ * Panics on any non-classical gate.
+ */
+std::vector<bool> runClassical(const Circuit &circuit,
+                               std::vector<bool> initial);
+
+/** Pack bits [base, base+count) of a state into an integer, LSB first. */
+std::uint64_t packBits(const std::vector<bool> &state, Qubit base,
+                       Qubit count);
+
+/** Unpack an integer into bits [base, base+count) of a state. */
+void unpackBits(std::vector<bool> &state, Qubit base, Qubit count,
+                std::uint64_t value);
+
+} // namespace qc
+
+#endif // QC_KERNELS_CLASSICAL_SIM_HH

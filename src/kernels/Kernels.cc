@@ -1,0 +1,55 @@
+#include "kernels/Kernels.hh"
+
+#include "common/Logging.hh"
+#include "kernels/Adders.hh"
+
+namespace qc {
+
+std::string
+benchmarkName(BenchmarkKind kind, int bits)
+{
+    std::string prefix = std::to_string(bits) + "-Bit ";
+    switch (kind) {
+      case BenchmarkKind::Qrca:
+        return prefix + "QRCA";
+      case BenchmarkKind::Qcla:
+        return prefix + "QCLA";
+      case BenchmarkKind::Qft:
+        return prefix + "QFT";
+    }
+    panic("benchmarkName: bad kind");
+}
+
+Benchmark
+makeBenchmark(BenchmarkKind kind, FowlerSynth &synth,
+              const BenchmarkOptions &options)
+{
+    Circuit high(1);
+    switch (kind) {
+      case BenchmarkKind::Qrca:
+        high = makeQrca(options.bits).circuit;
+        break;
+      case BenchmarkKind::Qcla:
+        high = makeQcla(options.bits).circuit;
+        break;
+      case BenchmarkKind::Qft:
+        high = makeQft(options.bits, options.qft);
+        break;
+    }
+    Lowered lowered =
+        lowerToFaultTolerant(high, synth, options.lowering);
+    return Benchmark{kind, benchmarkName(kind, options.bits),
+                     std::move(high), std::move(lowered)};
+}
+
+std::vector<Benchmark>
+makeAllBenchmarks(FowlerSynth &synth, const BenchmarkOptions &options)
+{
+    std::vector<Benchmark> out;
+    out.push_back(makeBenchmark(BenchmarkKind::Qrca, synth, options));
+    out.push_back(makeBenchmark(BenchmarkKind::Qcla, synth, options));
+    out.push_back(makeBenchmark(BenchmarkKind::Qft, synth, options));
+    return out;
+}
+
+} // namespace qc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Benchmark registry: the paper's three kernels (Section 3.1), each
+ * produced both at the benchmark gate level and lowered to the
+ * fault-tolerant gate set with shared synthesis options.
+ */
+
+#ifndef QC_KERNELS_KERNELS_HH
+#define QC_KERNELS_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/Lower.hh"
+#include "kernels/Qft.hh"
+
+namespace qc {
+
+/** The paper's benchmark kernels. */
+enum class BenchmarkKind
+{
+    Qrca, ///< 32-bit Quantum Ripple-Carry Adder
+    Qcla, ///< 32-bit Quantum Carry-Lookahead Adder
+    Qft,  ///< 32-bit Quantum Fourier Transform
+};
+
+/** Display name matching the paper's tables. */
+std::string benchmarkName(BenchmarkKind kind, int bits);
+
+/** Options shared by all benchmark constructions. */
+struct BenchmarkOptions
+{
+    /** Operand width (the paper uses 32 everywhere). */
+    int bits = 32;
+
+    /** Lowering knobs (rotation cutoff). */
+    LoweringOptions lowering{};
+
+    /** QFT-specific generation knobs. */
+    QftOptions qft{};
+};
+
+/** A fully-constructed benchmark. */
+struct Benchmark
+{
+    BenchmarkKind kind;
+    std::string name;
+    Circuit highLevel;  ///< over {Toffoli, CRotZ, ...}
+    Lowered lowered;    ///< fault-tolerant gate set
+};
+
+/**
+ * Build one benchmark.
+ *
+ * @param kind    which kernel
+ * @param synth   shared rotation-word cache
+ * @param options construction knobs
+ */
+Benchmark makeBenchmark(BenchmarkKind kind, FowlerSynth &synth,
+                        const BenchmarkOptions &options = {});
+
+/** Build all three paper benchmarks with shared options. */
+std::vector<Benchmark> makeAllBenchmarks(
+    FowlerSynth &synth, const BenchmarkOptions &options = {});
+
+} // namespace qc
+
+#endif // QC_KERNELS_KERNELS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lowering from the benchmark gate set to the fault-tolerant
+ * [[7,1,3]] gate set.
+ *
+ * The output circuit uses only gates with direct fault-tolerant
+ * implementations on the Steane code (paper Section 2): the
+ * transversal Cliffords {X, Y, Z, S, Sdg, H, CX, CZ}, the
+ * ancilla-mediated pi/8 gates {T, Tdg}, and prep/measure. The pass
+ *
+ *  - expands every Toffoli into the standard 15-gate Clifford+T
+ *    network (6 CX, 7 T/Tdg, 2 H),
+ *  - decomposes every controlled rotation CRotZ(k) into 2 CX plus 3
+ *    single-qubit pi/2^(k+1) rotations (Section 2.5, [14]),
+ *  - replaces each remaining RotZ with its exact Clifford/T form
+ *    (|k| <= 2) or its cached Fowler {H,T} word, and
+ *  - elides rotations finer than a configurable cutoff, accumulating
+ *    the skipped angle as an explicit error budget.
+ */
+
+#ifndef QC_KERNELS_LOWER_HH
+#define QC_KERNELS_LOWER_HH
+
+#include <cstdint>
+
+#include "circuit/Circuit.hh"
+#include "synth/Fowler.hh"
+
+namespace qc {
+
+/** Knobs controlling the lowering pass. */
+struct LoweringOptions
+{
+    /**
+     * Rotations with exponent |k| > maxRotK are elided entirely
+     * (approximate-QFT style). The induced error is tracked in
+     * LoweringStats::elidedAngleSum. Non-positive disables elision.
+     */
+    int maxRotK = 8;
+};
+
+/** Accounting produced by the lowering pass. */
+struct LoweringStats
+{
+    std::uint64_t toffolis = 0;       ///< Toffolis expanded
+    std::uint64_t controlledRots = 0; ///< CRotZ gates decomposed
+    std::uint64_t rotations = 0;      ///< RotZ gates synthesized
+    std::uint64_t elided = 0;         ///< rotations dropped by cutoff
+    double elidedAngleSum = 0.0;      ///< total |angle| dropped (rad)
+    double approxErrorSum = 0.0;      ///< sum of Fowler word errors
+    double approxErrorMax = 0.0;      ///< worst Fowler word error
+};
+
+/** A lowered circuit plus its accounting. */
+struct Lowered
+{
+    Circuit circuit;
+    LoweringStats stats;
+};
+
+/**
+ * Lower a circuit to the fault-tolerant gate set.
+ *
+ * @param input  circuit over the benchmark gate set
+ * @param synth  rotation-word cache (shared across calls)
+ * @param options lowering knobs
+ */
+Lowered lowerToFaultTolerant(const Circuit &input, FowlerSynth &synth,
+                             const LoweringOptions &options = {});
+
+} // namespace qc
+
+#endif // QC_KERNELS_LOWER_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dense state-vector simulator for small circuits.
+ *
+ * Supports every logical gate kind (including parameterized
+ * rotations and Toffoli), so the test suite can check unitary-level
+ * equivalence of decompositions: Toffoli lowering, controlled-phase
+ * decomposition, Fowler words, and small QFTs against the exact DFT.
+ * Intended for <= ~16 qubits; not a performance component.
+ */
+
+#ifndef QC_KERNELS_STATE_VECTOR_HH
+#define QC_KERNELS_STATE_VECTOR_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/Circuit.hh"
+
+namespace qc {
+
+/** Dense 2^n-amplitude simulator. */
+class StateVector
+{
+  public:
+    using Cplx = std::complex<double>;
+
+    /** Initialize n qubits to |0...0>. */
+    explicit StateVector(Qubit num_qubits);
+
+    /** Initialize to a computational basis state (LSB = qubit 0). */
+    StateVector(Qubit num_qubits, std::uint64_t basis_state);
+
+    /** Number of qubits. */
+    Qubit numQubits() const { return numQubits_; }
+
+    /** Amplitude vector (size 2^n, index bit i = qubit i). */
+    const std::vector<Cplx> &amplitudes() const { return amps_; }
+
+    /** Apply one gate. Measure gates are rejected (panic). */
+    void apply(const Gate &gate);
+
+    /** Apply every gate of a circuit in order. */
+    void run(const Circuit &circuit);
+
+    /**
+     * Fidelity-style overlap |<other|this>| in [0, 1]; 1 iff equal
+     * up to global phase.
+     */
+    double overlap(const StateVector &other) const;
+
+    /** Probability that qubit q measures 1. */
+    double probOne(Qubit q) const;
+
+  private:
+    void apply1q(Qubit q, const Cplx m[2][2]);
+    void applyPhase1q(Qubit q, Cplx phase);
+    void applyControlledPhase(Qubit a, Qubit b, Cplx phase);
+    void applyCx(Qubit control, Qubit target);
+    void applyToffoli(Qubit a, Qubit b, Qubit target);
+    void reset(Qubit q);
+
+    Qubit numQubits_;
+    std::vector<Cplx> amps_;
+};
+
+} // namespace qc
+
+#endif // QC_KERNELS_STATE_VECTOR_HH

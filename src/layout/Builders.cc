@@ -1,0 +1,91 @@
+#include "layout/Builders.hh"
+
+#include <cmath>
+
+#include "codes/SteaneCode.hh"
+#include "common/Logging.hh"
+
+namespace qc {
+
+LayoutGrid
+buildDataQubitRegion()
+{
+    // 3 wide x 7 high: a gate location per physical qubit in the
+    // middle column, full intersections on both flanks so ions can
+    // enter from either side of the interconnect (Figure 10).
+    LayoutGrid grid(3, SteaneCode::numPhysical);
+    for (int y = 0; y < SteaneCode::numPhysical; ++y) {
+        grid.set({0, y}, MacroblockKind::FourWay);
+        grid.set({1, y}, MacroblockKind::StraightChannelGate,
+                 /*vertical=*/false);
+        grid.set({2, y}, MacroblockKind::FourWay);
+    }
+    return grid;
+}
+
+Area
+dataQubitArea()
+{
+    return SteaneCode::numPhysical;
+}
+
+LayoutGrid
+buildSimpleFactory()
+{
+    // 10 wide x 9 high = 90 macroblocks (Figure 11): gate rows at
+    // y = 1, 4, 7 hold ten gate locations each (seven encode plus
+    // three verification qubits); the remaining rows are full
+    // intersections used for communication.
+    LayoutGrid grid(10, 9);
+    for (int y = 0; y < 9; ++y) {
+        const bool gate_row = (y == 1 || y == 4 || y == 7);
+        for (int x = 0; x < 10; ++x) {
+            if (gate_row) {
+                grid.set({x, y}, MacroblockKind::StraightChannelGate,
+                         /*vertical=*/true);
+            } else {
+                grid.set({x, y}, MacroblockKind::FourWay);
+            }
+        }
+    }
+    return grid;
+}
+
+MovementModel
+calibrateMovement(const LayoutGrid &layout, const IonTrapParams &tech)
+{
+    // Average routed cost between gate locations in different rows
+    // at small horizontal offset — the typical two-qubit interaction
+    // pattern inside a factory (a qubit travels to its partner's
+    // gate location).
+    const auto gates = layout.gateLocations();
+    double straights = 0;
+    double turns = 0;
+    int pairs = 0;
+    for (const Coord &a : gates) {
+        for (const Coord &b : gates) {
+            if (a.y >= b.y || std::abs(a.x - b.x) > 2)
+                continue;
+            const auto cost = route(layout, a, b, tech);
+            if (!cost)
+                continue;
+            straights += cost->straights;
+            turns += cost->turns;
+            ++pairs;
+        }
+    }
+    MovementModel model;
+    if (pairs > 0) {
+        model.movesPerCx = static_cast<int>(
+            std::lround(straights / pairs));
+        model.turnsPerCx =
+            static_cast<int>(std::lround(turns / pairs));
+    } else {
+        warn("calibrateMovement: no routable gate pairs; "
+             "keeping defaults");
+    }
+    model.movesPerMeas = 1;
+    return model;
+}
+
+} // namespace qc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Canonical layout builders: the single-encoded-data-qubit compute
+ * region of Figure 10, the simple (non-pipelined) ancilla factory of
+ * Figure 11, and movement-model calibration from routed layouts.
+ */
+
+#ifndef QC_LAYOUT_BUILDERS_HH
+#define QC_LAYOUT_BUILDERS_HH
+
+#include "error/AncillaSim.hh"
+#include "layout/Grid.hh"
+#include "layout/Route.hh"
+
+namespace qc {
+
+/**
+ * The data-qubit compute region of Figure 10: one column of seven
+ * Straight Channel Gate macroblocks (one gate location per physical
+ * qubit of the [[7,1,3]] block), with vertical channels on both
+ * sides connecting to the surrounding interconnect.
+ *
+ * The returned grid is 3 wide x 7 high; its *data area* in the
+ * paper's accounting is the 7 gate macroblocks (the flanking
+ * channels belong to the interconnect budget).
+ */
+LayoutGrid buildDataQubitRegion();
+
+/** Area charged to one encoded data qubit (m macroblocks). */
+Area dataQubitArea();
+
+/**
+ * The simple ancilla factory of Figure 11: three rows of ten gate
+ * macroblocks (seven encode + three verification qubits each),
+ * interleaved with communication rows; 90 macroblocks total.
+ */
+LayoutGrid buildSimpleFactory();
+
+/**
+ * Calibrate an error-simulation MovementModel from a routed layout:
+ * averages the straight/turn counts over all gate-location pairs at
+ * the layout's typical interaction distance (adjacent gate rows).
+ */
+MovementModel calibrateMovement(const LayoutGrid &layout,
+                                const IonTrapParams &tech);
+
+} // namespace qc
+
+#endif // QC_LAYOUT_BUILDERS_HH

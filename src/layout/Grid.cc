@@ -1,0 +1,114 @@
+#include "layout/Grid.hh"
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+unsigned
+portMask(MacroblockKind kind, bool vertical)
+{
+    constexpr unsigned north = 1u << static_cast<unsigned>(Dir::North);
+    constexpr unsigned east = 1u << static_cast<unsigned>(Dir::East);
+    constexpr unsigned south = 1u << static_cast<unsigned>(Dir::South);
+    constexpr unsigned west = 1u << static_cast<unsigned>(Dir::West);
+
+    switch (kind) {
+      case MacroblockKind::Empty:
+        return 0;
+      case MacroblockKind::DeadEndGate:
+        return vertical ? north : east;
+      case MacroblockKind::StraightChannelGate:
+      case MacroblockKind::StraightChannel:
+        return vertical ? (north | south) : (east | west);
+      case MacroblockKind::Turn:
+        return vertical ? (north | east) : (south | west);
+      case MacroblockKind::ThreeWay:
+        return vertical ? (north | south | east)
+                        : (east | west | south);
+      case MacroblockKind::FourWay:
+        return north | east | south | west;
+    }
+    return 0;
+}
+
+LayoutGrid::LayoutGrid(int width, int height)
+    : width_(width), height_(height),
+      cells_(static_cast<std::size_t>(width)
+             * static_cast<std::size_t>(height))
+{
+    if (width <= 0 || height <= 0)
+        fatal("LayoutGrid: dimensions must be positive");
+}
+
+const Cell &
+LayoutGrid::at(Coord c) const
+{
+    if (!inBounds(c))
+        panic("LayoutGrid::at out of bounds (", c.x, ",", c.y, ")");
+    return cells_[static_cast<std::size_t>(c.y)
+                  * static_cast<std::size_t>(width_)
+                  + static_cast<std::size_t>(c.x)];
+}
+
+void
+LayoutGrid::set(Coord c, MacroblockKind kind, bool vertical)
+{
+    if (!inBounds(c))
+        panic("LayoutGrid::set out of bounds (", c.x, ",", c.y, ")");
+    cells_[static_cast<std::size_t>(c.y)
+           * static_cast<std::size_t>(width_)
+           + static_cast<std::size_t>(c.x)] = {kind, vertical};
+}
+
+Area
+LayoutGrid::occupiedArea() const
+{
+    Area area = 0;
+    for (const Cell &cell : cells_) {
+        if (cell.kind != MacroblockKind::Empty)
+            area += 1;
+    }
+    return area;
+}
+
+int
+LayoutGrid::gateLocationCount() const
+{
+    int count = 0;
+    for (const Cell &cell : cells_) {
+        if (hasGateLocation(cell.kind))
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Coord>
+LayoutGrid::gateLocations() const
+{
+    std::vector<Coord> out;
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            if (hasGateLocation(at({x, y}).kind))
+                out.push_back({x, y});
+        }
+    }
+    return out;
+}
+
+bool
+LayoutGrid::connected(Coord from, Dir d) const
+{
+    const Coord to = step(from, d);
+    if (!inBounds(from) || !inBounds(to))
+        return false;
+    const Cell &a = at(from);
+    const Cell &b = at(to);
+    if (a.kind == MacroblockKind::Empty ||
+        b.kind == MacroblockKind::Empty) {
+        return false;
+    }
+    return hasPort(portMask(a.kind, a.vertical), d)
+        && hasPort(portMask(b.kind, b.vertical), opposite(d));
+}
+
+} // namespace qc

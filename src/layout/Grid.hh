@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Rectangular macroblock grid with orientation per cell.
+ */
+
+#ifndef QC_LAYOUT_GRID_HH
+#define QC_LAYOUT_GRID_HH
+
+#include <vector>
+
+#include "common/Types.hh"
+#include "layout/Macroblock.hh"
+
+namespace qc {
+
+/** Grid coordinate (x = column, y = row; y grows southward). */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/** One grid cell: a macroblock kind plus its orientation. */
+struct Cell
+{
+    MacroblockKind kind = MacroblockKind::Empty;
+    bool vertical = false;
+};
+
+/**
+ * A rectangular field of macroblocks.
+ */
+class LayoutGrid
+{
+  public:
+    LayoutGrid(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** True if c lies within the rectangle. */
+    bool
+    inBounds(Coord c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
+
+    /** Cell accessor (must be in bounds). */
+    const Cell &at(Coord c) const;
+
+    /** Set a cell (must be in bounds). */
+    void set(Coord c, MacroblockKind kind, bool vertical = false);
+
+    /** Number of non-empty macroblocks (the layout's area). */
+    Area occupiedArea() const;
+
+    /** Number of gate locations in the layout. */
+    int gateLocationCount() const;
+
+    /** All coordinates holding gate locations, row-major. */
+    std::vector<Coord> gateLocations() const;
+
+    /**
+     * True if an ion can cross directly from `from` toward
+     * direction d: both cells must exist, be non-empty, and expose
+     * facing ports.
+     */
+    bool connected(Coord from, Dir d) const;
+
+    /** Neighbor coordinate in direction d (may be out of bounds). */
+    static Coord
+    step(Coord c, Dir d)
+    {
+        switch (d) {
+          case Dir::North: return {c.x, c.y - 1};
+          case Dir::East:  return {c.x + 1, c.y};
+          case Dir::South: return {c.x, c.y + 1};
+          case Dir::West:  return {c.x - 1, c.y};
+        }
+        return c;
+    }
+
+  private:
+    int width_;
+    int height_;
+    std::vector<Cell> cells_;
+};
+
+} // namespace qc
+
+#endif // QC_LAYOUT_GRID_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The abstract ion-trap layout building blocks of paper Figure 9.
+ *
+ * A layout is a grid of macroblocks. Each macroblock is a fixed
+ * pattern of electrodes providing movement channels in some subset
+ * of the four directions and, for the gate variants, a gate
+ * location where laser pulses can be applied to resident ions.
+ * Areas throughout the project are counted in macroblocks
+ * (Section 4.1).
+ */
+
+#ifndef QC_LAYOUT_MACROBLOCK_HH
+#define QC_LAYOUT_MACROBLOCK_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace qc {
+
+/** Macroblock kinds (Figure 9). */
+enum class MacroblockKind : std::uint8_t
+{
+    Empty,              ///< no electrodes: not part of the layout
+    DeadEndGate,        ///< gate location, single port
+    StraightChannelGate,///< gate location on a through channel
+    StraightChannel,    ///< plain through channel
+    Turn,               ///< 90-degree corner
+    ThreeWay,           ///< T intersection
+    FourWay,            ///< + intersection
+};
+
+/** Cardinal directions used for ports and routing. */
+enum class Dir : std::uint8_t { North, East, South, West };
+
+/** Opposite direction. */
+constexpr Dir
+opposite(Dir d)
+{
+    switch (d) {
+      case Dir::North: return Dir::South;
+      case Dir::East:  return Dir::West;
+      case Dir::South: return Dir::North;
+      case Dir::West:  return Dir::East;
+    }
+    return Dir::North;
+}
+
+/** Display name. */
+constexpr std::string_view
+macroblockName(MacroblockKind kind)
+{
+    switch (kind) {
+      case MacroblockKind::Empty:               return "empty";
+      case MacroblockKind::DeadEndGate:         return "dead-end gate";
+      case MacroblockKind::StraightChannelGate: return "channel gate";
+      case MacroblockKind::StraightChannel:     return "channel";
+      case MacroblockKind::Turn:                return "turn";
+      case MacroblockKind::ThreeWay:            return "3-way";
+      case MacroblockKind::FourWay:             return "4-way";
+    }
+    return "?";
+}
+
+/** True if ions can sit at a gate location in this block. */
+constexpr bool
+hasGateLocation(MacroblockKind kind)
+{
+    return kind == MacroblockKind::DeadEndGate
+        || kind == MacroblockKind::StraightChannelGate;
+}
+
+/**
+ * Port bitmask for a block in its canonical orientation. Straight
+ * blocks run North-South when `vertical`, else East-West; turns
+ * connect North-East when `vertical`, else South-West; dead ends
+ * open North/East respectively. Orientation is a property of the
+ * grid cell, not the kind.
+ */
+unsigned portMask(MacroblockKind kind, bool vertical);
+
+/** Per-direction port test against a portMask() value. */
+constexpr bool
+hasPort(unsigned mask, Dir d)
+{
+    return mask & (1u << static_cast<unsigned>(d));
+}
+
+} // namespace qc
+
+#endif // QC_LAYOUT_MACROBLOCK_HH

@@ -1,0 +1,101 @@
+#include "layout/Route.hh"
+
+#include <array>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace qc {
+
+namespace {
+
+constexpr int numDirs = 4;
+
+struct State
+{
+    Time cost;
+    int index; // (y * width + x) * 4 + dir
+
+    bool operator>(const State &o) const { return cost > o.cost; }
+};
+
+} // namespace
+
+std::optional<RouteCost>
+route(const LayoutGrid &grid, Coord from, Coord to,
+      const IonTrapParams &tech)
+{
+    if (!grid.inBounds(from) || !grid.inBounds(to))
+        return std::nullopt;
+    if (from == to)
+        return RouteCost{};
+
+    const int w = grid.width();
+    const int h = grid.height();
+    const std::size_t states =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h)
+        * numDirs;
+    constexpr Time inf = std::numeric_limits<Time>::max();
+    std::vector<Time> dist(states, inf);
+    // Track (straights, turns) along the best path per state so the
+    // caller gets op counts, not just latency.
+    std::vector<RouteCost> tally(states);
+
+    auto idx = [w](Coord c, int dir) {
+        return (static_cast<std::size_t>(c.y)
+                    * static_cast<std::size_t>(w)
+                + static_cast<std::size_t>(c.x))
+                   * numDirs
+               + static_cast<std::size_t>(dir);
+    };
+
+    std::priority_queue<State, std::vector<State>, std::greater<>> pq;
+
+    // Seed: leave the source in any connected direction.
+    for (int d = 0; d < numDirs; ++d) {
+        const Dir dir = static_cast<Dir>(d);
+        if (!grid.connected(from, dir))
+            continue;
+        const Coord next = LayoutGrid::step(from, dir);
+        const std::size_t i = idx(next, d);
+        if (tech.tmove < dist[i]) {
+            dist[i] = tech.tmove;
+            tally[i] = {1, 0};
+            pq.push({tech.tmove, static_cast<int>(i)});
+        }
+    }
+
+    while (!pq.empty()) {
+        const State s = pq.top();
+        pq.pop();
+        const std::size_t si = static_cast<std::size_t>(s.index);
+        if (s.cost > dist[si])
+            continue;
+        const int dir_in = s.index % numDirs;
+        const int flat = s.index / numDirs;
+        const Coord here{flat % w, flat / w};
+        if (here == to) {
+            return tally[si];
+        }
+        for (int d = 0; d < numDirs; ++d) {
+            const Dir dir = static_cast<Dir>(d);
+            if (!grid.connected(here, dir))
+                continue;
+            const Coord next = LayoutGrid::step(here, dir);
+            const bool turning = d != dir_in;
+            const Time cost = s.cost + tech.tmove
+                + (turning ? tech.tturn : 0);
+            const std::size_t i = idx(next, d);
+            if (cost < dist[i]) {
+                dist[i] = cost;
+                tally[i] = tally[si];
+                tally[i].straights += 1;
+                tally[i].turns += turning ? 1 : 0;
+                pq.push({cost, static_cast<int>(i)});
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace qc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimum-latency ion routing over a LayoutGrid.
+ *
+ * Movement cost follows Table 4: each macroblock crossed in a
+ * straight line costs one Straight Move (t_move); each change of
+ * heading costs one Turn (t_turn). The router is a Dijkstra search
+ * over (cell, heading) states, so it prefers longer straight paths
+ * over shorter ones with more turns exactly as the hardware does.
+ */
+
+#ifndef QC_LAYOUT_ROUTE_HH
+#define QC_LAYOUT_ROUTE_HH
+
+#include <optional>
+
+#include "common/Params.hh"
+#include "common/Types.hh"
+#include "layout/Grid.hh"
+
+namespace qc {
+
+/** Movement-op tally for one routed path. */
+struct RouteCost
+{
+    int straights = 0; ///< macroblocks crossed straight
+    int turns = 0;     ///< heading changes
+
+    /** Total latency under a technology's move parameters. */
+    Time
+    latency(const IonTrapParams &tech) const
+    {
+        return straights * tech.tmove + turns * tech.tturn;
+    }
+
+    /** Total movement operations (for error accounting). */
+    int moveOps() const { return straights + turns; }
+};
+
+/**
+ * Route an ion from one cell to another.
+ *
+ * @return the cheapest RouteCost, or nullopt if unreachable.
+ */
+std::optional<RouteCost> route(const LayoutGrid &grid, Coord from,
+                               Coord to, const IonTrapParams &tech);
+
+} // namespace qc
+
+#endif // QC_LAYOUT_ROUTE_HH

@@ -1,0 +1,32 @@
+#include "sim/Simulator.hh"
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+void
+Simulator::schedule(Time when, Handler handler)
+{
+    if (when < now_)
+        panic("Simulator: scheduling into the past (", when, " < ",
+              now_, ")");
+    queue_.push(Event{when, nextSeq_++, std::move(handler)});
+}
+
+Time
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        // Moving out of a priority_queue requires a const_cast;
+        // contained handlers are never observed again after pop.
+        Event event = std::move(
+            const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = event.when;
+        ++processed_;
+        event.handler();
+    }
+    return now_;
+}
+
+} // namespace qc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal deterministic discrete-event simulation core used by the
+ * microarchitecture models (paper Section 5.2's "event-based
+ * simulation of ancilla factory production and data qubit gate
+ * consumption").
+ */
+
+#ifndef QC_SIM_SIMULATOR_HH
+#define QC_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace qc {
+
+/**
+ * A time-ordered event queue. Events scheduled for the same tick
+ * fire in scheduling order (stable), which keeps runs deterministic.
+ */
+class Simulator
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** Schedule a handler at an absolute time (>= now). */
+    void schedule(Time when, Handler handler);
+
+    /** Schedule a handler after a delay. */
+    void
+    scheduleAfter(Time delay, Handler handler)
+    {
+        schedule(now_ + delay, std::move(handler));
+    }
+
+    /** Run until the queue drains. Returns the final time. */
+    Time run();
+
+    /** Number of events processed so far. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct Event
+    {
+        Time when;
+        std::uint64_t seq;
+        Handler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace qc
+
+#endif // QC_SIM_SIMULATOR_HH

@@ -1,0 +1,274 @@
+#include "synth/Fowler.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/Logging.hh"
+
+namespace qc {
+
+namespace {
+
+/** Decomposition of T^a (a in [0,7]) over {T, S, Z, Sdg, Tdg}. */
+const std::vector<GateKind> &
+tPowerGates(int a)
+{
+    static const std::vector<GateKind> table[8] = {
+        {},
+        {GateKind::T},
+        {GateKind::S},
+        {GateKind::S, GateKind::T},
+        {GateKind::Z},
+        {GateKind::Z, GateKind::T},
+        {GateKind::Sdg},
+        {GateKind::Tdg},
+    };
+    return table[a];
+}
+
+/** Weighted cost of the decomposition of T^a. */
+int
+tPowerCost(int a, bool pure_ht, int t_weight)
+{
+    if (pure_ht)
+        return a * t_weight;
+    int cost = 0;
+    for (GateKind g : tPowerGates(a)) {
+        cost += (g == GateKind::T || g == GateKind::Tdg) ? t_weight
+                                                         : 1;
+    }
+    return cost;
+}
+
+GateKind
+inverseOf(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::T:   return GateKind::Tdg;
+      case GateKind::Tdg: return GateKind::T;
+      case GateKind::S:   return GateKind::Sdg;
+      case GateKind::Sdg: return GateKind::S;
+      case GateKind::H:   return GateKind::H;
+      case GateKind::Z:   return GateKind::Z;
+      case GateKind::X:   return GateKind::X;
+      default:
+        panic("inverseOf: unsupported gate in sequence");
+    }
+}
+
+Su2
+matrixOf(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H:   return Su2::hGate();
+      case GateKind::T:   return Su2::tGate();
+      case GateKind::Tdg: return Su2::tdgGate();
+      case GateKind::S:   return Su2::sGate();
+      case GateKind::Sdg: return Su2::sdgGate();
+      case GateKind::Z:   return Su2::zGate();
+      case GateKind::X:   return Su2::xGate();
+      default:
+        panic("matrixOf: unsupported gate in sequence");
+    }
+}
+
+/** DFS state shared across the recursion. */
+struct SearchCtx
+{
+    const Su2 *target;
+    double maxError;
+    int maxSyllables;
+    bool pureHT;
+    int tWeight;
+
+    // Best-so-far.
+    double bestError = 2.0;
+    int bestCost = 1 << 30;
+    std::vector<std::uint8_t> bestWord; // a0, a1, ..., as
+    bool found = false;
+
+    // Current path of syllable exponents.
+    std::vector<std::uint8_t> word;
+
+    void
+    consider(const Su2 &m, int cost)
+    {
+        const double err = m.distTo(*target);
+        const bool ok = err <= maxError;
+        if (found) {
+            // Among acceptable words prefer lower cost, then error.
+            if (ok && (cost < bestCost ||
+                       (cost == bestCost && err < bestError))) {
+                bestCost = cost;
+                bestError = err;
+                bestWord = word;
+            }
+        } else if (ok) {
+            found = true;
+            bestCost = cost;
+            bestError = err;
+            bestWord = word;
+        } else if (err < bestError) {
+            // Track the closest miss as a fallback answer.
+            bestError = err;
+            bestCost = cost;
+            bestWord = word;
+        }
+    }
+};
+
+/**
+ * Recursively extend the word with "H T^a" syllables.
+ *
+ * @param ctx       search state
+ * @param m         unitary of the word so far (later gates on left)
+ * @param cost      decomposed gate count of the word so far
+ * @param depth     syllables consumed so far
+ */
+void
+extend(SearchCtx &ctx, const Su2 &m, int cost, int depth)
+{
+    if (depth >= ctx.maxSyllables)
+        return;
+    const Su2 afterH = Su2::hGate() * m;
+    const Su2 tMat = Su2::tGate();
+
+    ctx.word.push_back(0);
+    // a = 0 is only meaningful as a final syllable (a trailing H);
+    // deeper syllables with a = 0 would merge two H's.
+    ctx.consider(afterH, cost + 1);
+
+    Su2 cur = afterH;
+    for (int a = 1; a <= 7; ++a) {
+        cur = tMat * cur;
+        ctx.word.back() = static_cast<std::uint8_t>(a);
+        const int c = cost + 1 + tPowerCost(a, ctx.pureHT,
+                                            ctx.tWeight);
+        ctx.consider(cur, c);
+        extend(ctx, cur, c, depth + 1);
+    }
+    ctx.word.pop_back();
+}
+
+ApproxSequence
+wordToSequence(const std::vector<std::uint8_t> &word, double error,
+               bool pure_ht)
+{
+    ApproxSequence seq;
+    seq.error = error;
+    bool first = true;
+    for (std::uint8_t a : word) {
+        if (!first)
+            seq.gates.push_back(GateKind::H);
+        if (pure_ht) {
+            seq.gates.insert(seq.gates.end(), a, GateKind::T);
+        } else {
+            const auto &gates = tPowerGates(a);
+            seq.gates.insert(seq.gates.end(), gates.begin(),
+                             gates.end());
+        }
+        first = false;
+    }
+    return seq;
+}
+
+} // namespace
+
+int
+ApproxSequence::tCount() const
+{
+    return static_cast<int>(
+        std::count_if(gates.begin(), gates.end(), [](GateKind g) {
+            return g == GateKind::T || g == GateKind::Tdg;
+        }));
+}
+
+Su2
+ApproxSequence::unitary() const
+{
+    Su2 m = Su2::identity();
+    for (GateKind g : gates)
+        m = matrixOf(g) * m;
+    return m;
+}
+
+ApproxSequence
+ApproxSequence::inverted() const
+{
+    ApproxSequence inv;
+    inv.error = error;
+    inv.gates.reserve(gates.size());
+    for (auto it = gates.rbegin(); it != gates.rend(); ++it)
+        inv.gates.push_back(inverseOf(*it));
+    return inv;
+}
+
+FowlerSynth::FowlerSynth(Options options) : opts_(options)
+{
+    if (opts_.maxSyllables < 1 || opts_.maxSyllables > 9)
+        fatal("FowlerSynth: maxSyllables must be in [1, 9]");
+}
+
+ApproxSequence
+FowlerSynth::search(const Su2 &target) const
+{
+    auto run_dfs = [&](double max_error) {
+        SearchCtx ctx;
+        ctx.target = &target;
+        ctx.maxError = max_error;
+        ctx.maxSyllables = opts_.maxSyllables;
+        ctx.pureHT = opts_.pureHT;
+        ctx.tWeight = opts_.tCostWeight;
+
+        // Leading T^{a0} syllable (no H before it), a0 = 0 meaning
+        // the empty word.
+        const Su2 tMat = Su2::tGate();
+        Su2 cur = Su2::identity();
+        for (int a0 = 0; a0 <= 7; ++a0) {
+            if (a0 > 0)
+                cur = tMat * cur;
+            ctx.word.assign(1, static_cast<std::uint8_t>(a0));
+            const int cost =
+                tPowerCost(a0, opts_.pureHT, opts_.tCostWeight);
+            ctx.consider(cur, cost);
+            extend(ctx, cur, cost, 0);
+        }
+        return ctx;
+    };
+
+    SearchCtx ctx = run_dfs(opts_.maxError);
+    if (!ctx.found) {
+        // The tolerance is unreachable at this depth. Re-search for
+        // the cheapest word within a tight (2%) band of the best
+        // achievable error, so the cost objective (and in
+        // particular the T weight) still selects among the words of
+        // essentially optimal fidelity.
+        ctx = run_dfs(ctx.bestError * 1.02 + 1e-15);
+    }
+    return wordToSequence(ctx.bestWord, ctx.bestError, opts_.pureHT);
+}
+
+const ApproxSequence &
+FowlerSynth::rotZ(int k)
+{
+    auto it = cache_.find(k);
+    if (it != cache_.end())
+        return it->second;
+
+    ApproxSequence seq;
+    const int mag = k < 0 ? -k : k;
+    if (mag == 0) {
+        seq.gates = {GateKind::Z};
+    } else if (mag == 1) {
+        seq.gates = {k > 0 ? GateKind::S : GateKind::Sdg};
+    } else if (mag == 2) {
+        seq.gates = {k > 0 ? GateKind::T : GateKind::Tdg};
+    } else if (k > 0) {
+        seq = search(Su2::rotZ(k));
+    } else {
+        seq = rotZ(mag).inverted();
+    }
+    return cache_.emplace(k, std::move(seq)).first->second;
+}
+
+} // namespace qc

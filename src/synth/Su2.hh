@@ -1,0 +1,68 @@
+/**
+ * @file
+ * 2x2 unitary matrices up to global phase, used by the Fowler-style
+ * gate-sequence search (Section 2.5 of the paper; Fowler,
+ * quant-ph/0506126).
+ */
+
+#ifndef QC_SYNTH_SU2_HH
+#define QC_SYNTH_SU2_HH
+
+#include <complex>
+
+namespace qc {
+
+/**
+ * A single-qubit unitary. Comparison and distance are defined up to
+ * global phase, which is the physically meaningful equivalence.
+ */
+class Su2
+{
+  public:
+    using Cplx = std::complex<double>;
+
+    /** Identity. */
+    Su2();
+
+    /** From explicit entries (row major). */
+    Su2(Cplx a00, Cplx a01, Cplx a10, Cplx a11);
+
+    /** @name Generators. */
+    /** @{ */
+    static Su2 identity();
+    static Su2 hGate();
+    static Su2 tGate();
+    static Su2 tdgGate();
+    static Su2 sGate();
+    static Su2 sdgGate();
+    static Su2 zGate();
+    static Su2 xGate();
+    /** Z-rotation: diag(1, e^{i theta}). */
+    static Su2 phase(double theta);
+    /** Z-rotation by pi/2^k: diag(1, e^{i pi/2^k}). */
+    static Su2 rotZ(int k);
+    /** @} */
+
+    /** Matrix product (this applied after rhs, i.e. *this * rhs). */
+    Su2 operator*(const Su2 &rhs) const;
+
+    /** Conjugate transpose. */
+    Su2 dagger() const;
+
+    /**
+     * Phase-invariant distance in [0, 1]:
+     * d(U, V) = sqrt(1 - |tr(U^dag V)| / 2).
+     * Zero iff U = e^{i phi} V.
+     */
+    double distTo(const Su2 &other) const;
+
+    /** Entry accessor (r, c in {0, 1}). */
+    Cplx at(int r, int c) const { return m_[r][c]; }
+
+  private:
+    Cplx m_[2][2];
+};
+
+} // namespace qc
+
+#endif // QC_SYNTH_SU2_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the circuit IR and dataflow scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/Circuit.hh"
+#include "circuit/Dataflow.hh"
+
+namespace qc {
+namespace {
+
+TEST(Gate, ArityByKind)
+{
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateArity(GateKind::T), 1);
+    EXPECT_EQ(gateArity(GateKind::CX), 2);
+    EXPECT_EQ(gateArity(GateKind::CRotZ), 2);
+    EXPECT_EQ(gateArity(GateKind::Toffoli), 3);
+    EXPECT_EQ(gateArity(GateKind::Measure), 1);
+}
+
+TEST(Gate, NamesAreStable)
+{
+    EXPECT_EQ(gateName(GateKind::T), "T");
+    EXPECT_EQ(gateName(GateKind::CX), "CX");
+    EXPECT_EQ(gateName(GateKind::Toffoli), "Toffoli");
+}
+
+TEST(Circuit, BuilderAppendsInOrder)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).t(1).toffoli(0, 1, 2).measure(2);
+    ASSERT_EQ(c.size(), 5u);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CX);
+    EXPECT_EQ(c.gates()[3].kind, GateKind::Toffoli);
+    EXPECT_EQ(c.gates()[3].ops[2], 2u);
+}
+
+TEST(Circuit, CensusCountsKinds)
+{
+    Circuit c(2);
+    c.h(0).h(1).t(0).tdg(1).cx(0, 1);
+    const GateCensus census = c.census();
+    EXPECT_EQ(census.total, 5u);
+    EXPECT_EQ(census.of(GateKind::H), 2u);
+    EXPECT_EQ(census.nonTransversal1q(), 2u);
+}
+
+TEST(Circuit, RotationParamStored)
+{
+    Circuit c(2);
+    c.rotZ(0, 5).crotZ(0, 1, -3);
+    EXPECT_EQ(c.gates()[0].param, 5);
+    EXPECT_EQ(c.gates()[1].param, -3);
+}
+
+TEST(Circuit, AddQubitsGrows)
+{
+    Circuit c(2);
+    const Qubit first = c.addQubits(3);
+    EXPECT_EQ(first, 2u);
+    EXPECT_EQ(c.numQubits(), 5u);
+    c.h(4); // must not panic
+}
+
+TEST(CircuitDeath, RejectsOutOfRangeOperand)
+{
+    Circuit c(2);
+    EXPECT_DEATH(c.h(2), "out of range");
+}
+
+TEST(CircuitDeath, RejectsDuplicateOperands)
+{
+    Circuit c(2);
+    EXPECT_DEATH(c.cx(1, 1), "duplicate");
+}
+
+TEST(Dataflow, ChainHasLinearDepth)
+{
+    Circuit c(1);
+    c.h(0).t(0).h(0).t(0);
+    DataflowGraph g(c);
+    EXPECT_EQ(g.depth(), 4u);
+    EXPECT_EQ(g.roots().size(), 1u);
+}
+
+TEST(Dataflow, IndependentGatesAreParallel)
+{
+    Circuit c(4);
+    c.h(0).h(1).h(2).h(3);
+    DataflowGraph g(c);
+    EXPECT_EQ(g.depth(), 1u);
+    EXPECT_EQ(g.roots().size(), 4u);
+}
+
+TEST(Dataflow, TwoQubitGatesJoinChains)
+{
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1).t(1);
+    DataflowGraph g(c);
+    // cx depends on both h's; t depends on cx.
+    EXPECT_EQ(g.preds(2).size(), 2u);
+    EXPECT_EQ(g.preds(3).size(), 1u);
+    EXPECT_EQ(g.depth(), 3u);
+}
+
+TEST(Dataflow, AsapMakespanOfChain)
+{
+    Circuit c(1);
+    c.h(0).h(0).h(0);
+    DataflowGraph g(c);
+    const Schedule s = g.asap([](const Gate &) { return Time{7}; });
+    EXPECT_EQ(s.makespan, 21);
+    EXPECT_EQ(s.start[2], 14);
+}
+
+TEST(Dataflow, AsapRespectsCrossQubitDependencies)
+{
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1);
+    DataflowGraph g(c);
+    const Schedule s = g.asap([](const Gate &g_) {
+        return g_.kind == GateKind::H ? Time{5} : Time{10};
+    });
+    EXPECT_EQ(s.start[2], 5);
+    EXPECT_EQ(s.makespan, 15);
+}
+
+TEST(Dataflow, ParallelismShortensMakespan)
+{
+    // Two independent chains of 3 gates each.
+    Circuit c(2);
+    c.h(0).h(0).h(0).h(1).h(1).h(1);
+    DataflowGraph g(c);
+    const Schedule s = g.asap([](const Gate &) { return Time{10}; });
+    EXPECT_EQ(s.makespan, 30);
+    EXPECT_EQ(g.depth(), 3u);
+}
+
+TEST(Dataflow, LevelsMatchDepth)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).measure(2);
+    DataflowGraph g(c);
+    const auto levels = g.levels();
+    EXPECT_EQ(levels[0], 0u);
+    EXPECT_EQ(levels[1], 1u);
+    EXPECT_EQ(levels[2], 2u);
+    EXPECT_EQ(levels[3], 3u);
+}
+
+TEST(Dataflow, PrepStartsNewLifetimeButKeepsOrdering)
+{
+    Circuit c(1);
+    c.h(0).measure(0).prepZ(0).h(0);
+    DataflowGraph g(c);
+    // Still a chain: reuse of the qubit is ordered.
+    EXPECT_EQ(g.depth(), 4u);
+}
+
+} // namespace
+} // namespace qc

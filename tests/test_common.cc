@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the common module: units, parameters, RNG,
+ * statistics and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/Params.hh"
+#include "common/Rng.hh"
+#include "common/Stats.hh"
+#include "common/Table.hh"
+#include "common/Types.hh"
+
+namespace qc {
+namespace {
+
+TEST(Types, MicrosecondConversionIsExact)
+{
+    EXPECT_EQ(usec(1), 1000);
+    EXPECT_EQ(usec(51), 51000);
+    EXPECT_EQ(msec(1), 1000000);
+    EXPECT_DOUBLE_EQ(toUs(usec(323)), 323.0);
+    EXPECT_DOUBLE_EQ(toMs(msec(7)), 7.0);
+}
+
+TEST(Types, BandwidthOfSingleItem)
+{
+    // One item per 100 us = 10 per ms.
+    EXPECT_DOUBLE_EQ(bandwidthOf(usec(100)), 10.0);
+}
+
+TEST(Types, BandwidthScalesWithItemsAndStages)
+{
+    // 7 items per 95 us with 3 internal stages: the paper's CX
+    // stage bandwidth, 221.05 qubits/ms.
+    const double bw = bandwidthOf(usec(95), 7, 3);
+    EXPECT_NEAR(bw, 221.05, 0.01);
+}
+
+TEST(Params, PaperDefaultsMatchTables1And4)
+{
+    const IonTrapParams p = IonTrapParams::paper();
+    EXPECT_EQ(p.t1q, usec(1));
+    EXPECT_EQ(p.t2q, usec(10));
+    EXPECT_EQ(p.tmeas, usec(50));
+    EXPECT_EQ(p.tprep, usec(51));
+    EXPECT_EQ(p.tmove, usec(1));
+    EXPECT_EQ(p.tturn, usec(10));
+
+    const ErrorParams e = ErrorParams::paper();
+    EXPECT_DOUBLE_EQ(e.pGate, 1e-4);
+    EXPECT_DOUBLE_EQ(e.pMove, 1e-6);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform01();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliRespectsProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.25))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, BelowIsBoundedAndCoversRange)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(15);
+        EXPECT_LT(v, 15u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(99);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RunningStat, MomentsOfKnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Wilson, CoversTrueProportion)
+{
+    // 30 successes in 1000 trials, p-hat = 0.03.
+    const Interval ci = wilsonInterval(30, 1000);
+    EXPECT_LT(ci.lo, 0.03);
+    EXPECT_GT(ci.hi, 0.03);
+    EXPECT_GT(ci.lo, 0.015);
+    EXPECT_LT(ci.hi, 0.05);
+}
+
+TEST(Wilson, ZeroSuccessesGivesZeroLowerBound)
+{
+    const Interval ci = wilsonInterval(0, 1000);
+    EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+    EXPECT_GT(ci.hi, 0.0);
+    EXPECT_LT(ci.hi, 0.01);
+}
+
+TEST(Wilson, AllSuccessesGivesOneUpperBound)
+{
+    const Interval ci = wilsonInterval(1000, 1000);
+    EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+    EXPECT_GT(ci.lo, 0.99);
+}
+
+TEST(TimeSeriesBinner, PointSamplesLandInBins)
+{
+    TimeSeriesBinner b(100.0, 10);
+    b.add(5.0);
+    b.add(95.0, 2.0);
+    EXPECT_DOUBLE_EQ(b.bins()[0], 1.0);
+    EXPECT_DOUBLE_EQ(b.bins()[9], 2.0);
+}
+
+TEST(TimeSeriesBinner, RangeSplitsProportionally)
+{
+    TimeSeriesBinner b(100.0, 10);
+    // Weight 10 over [5, 25): 5 units in bin 0, 10 in bin 1, 5 in
+    // bin 2.
+    b.addRange(5.0, 25.0, 10.0);
+    EXPECT_NEAR(b.bins()[0], 2.5, 1e-9);
+    EXPECT_NEAR(b.bins()[1], 5.0, 1e-9);
+    EXPECT_NEAR(b.bins()[2], 2.5, 1e-9);
+    double total = 0;
+    for (double v : b.bins())
+        total += v;
+    EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+TEST(TimeSeriesBinner, ClampsOutOfRange)
+{
+    TimeSeriesBinner b(10.0, 5);
+    b.add(-3.0);
+    b.add(42.0);
+    EXPECT_DOUBLE_EQ(b.bins()[0], 1.0);
+    EXPECT_DOUBLE_EQ(b.bins()[4], 1.0);
+}
+
+TEST(Table, AlignsColumnsAndSeparatesHeader)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecials)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"x,y", "plain"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtInt(42), "42");
+    EXPECT_EQ(fmtPct(0.782, 1), "78.2%");
+    EXPECT_EQ(fmtSci(0.000029, 1), "2.9e-05");
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the Pauli-frame Monte Carlo engine: frame algebra,
+ * propagation rules, and the Figure 4 reproduction (orderings and
+ * magnitudes of the ancilla-preparation error rates).
+ */
+
+#include <gtest/gtest.h>
+
+#include "error/AncillaSim.hh"
+#include "error/PauliFrame.hh"
+
+namespace qc {
+namespace {
+
+TEST(PauliFrame, StartsClean)
+{
+    PauliFrame f;
+    EXPECT_EQ(f.xMask(), 0u);
+    EXPECT_EQ(f.zMask(), 0u);
+}
+
+TEST(PauliFrame, HSwapsXAndZ)
+{
+    PauliFrame f;
+    f.flipX(3);
+    f.applyH(3);
+    EXPECT_FALSE(f.hasX(3));
+    EXPECT_TRUE(f.hasZ(3));
+    f.applyH(3);
+    EXPECT_TRUE(f.hasX(3));
+    EXPECT_FALSE(f.hasZ(3));
+}
+
+TEST(PauliFrame, STurnsXIntoY)
+{
+    PauliFrame f;
+    f.flipX(1);
+    f.applyS(1);
+    EXPECT_TRUE(f.hasX(1));
+    EXPECT_TRUE(f.hasZ(1));
+    // S on a pure Z error does nothing.
+    PauliFrame g;
+    g.flipZ(1);
+    g.applyS(1);
+    EXPECT_FALSE(g.hasX(1));
+    EXPECT_TRUE(g.hasZ(1));
+}
+
+TEST(PauliFrame, CxPropagatesXForwardZBackward)
+{
+    PauliFrame f;
+    f.flipX(0);
+    f.applyCx(0, 1);
+    EXPECT_TRUE(f.hasX(0));
+    EXPECT_TRUE(f.hasX(1));
+
+    PauliFrame g;
+    g.flipZ(1);
+    g.applyCx(0, 1);
+    EXPECT_TRUE(g.hasZ(0));
+    EXPECT_TRUE(g.hasZ(1));
+
+    // X on target and Z on control do not propagate.
+    PauliFrame h;
+    h.flipX(1);
+    h.flipZ(0);
+    h.applyCx(0, 1);
+    EXPECT_FALSE(h.hasX(0));
+    EXPECT_TRUE(h.hasX(1));
+    EXPECT_TRUE(h.hasZ(0));
+    EXPECT_FALSE(h.hasZ(1));
+}
+
+TEST(PauliFrame, CzDepositsPhaseOnPartner)
+{
+    PauliFrame f;
+    f.flipX(0);
+    f.applyCz(0, 1);
+    EXPECT_TRUE(f.hasX(0));
+    EXPECT_TRUE(f.hasZ(1));
+    EXPECT_FALSE(f.hasZ(0));
+}
+
+TEST(PauliFrame, ClearRangeForgetsOnlyThatRange)
+{
+    PauliFrame f;
+    f.flipX(2);
+    f.flipX(9);
+    f.flipZ(10);
+    f.clearRange(7, 7);
+    EXPECT_TRUE(f.hasX(2));
+    EXPECT_FALSE(f.hasX(9));
+    EXPECT_FALSE(f.hasZ(10));
+}
+
+TEST(PauliFrame, InjectionRespectsProbability)
+{
+    Rng rng(5);
+    PauliFrame f;
+    int faults = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        f.clear();
+        f.inject1q(rng, 0.01, 0);
+        if (f.hasX(0) || f.hasZ(0))
+            ++faults;
+    }
+    EXPECT_NEAR(static_cast<double>(faults) / n, 0.01, 0.002);
+}
+
+TEST(PauliFrame, TwoQubitInjectionCoversBothQubits)
+{
+    Rng rng(6);
+    PauliFrame f;
+    int on_a = 0, on_b = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        f.clear();
+        f.inject2q(rng, 1.0, 0, 1); // always inject
+        const bool a = f.hasX(0) || f.hasZ(0);
+        const bool b = f.hasX(1) || f.hasZ(1);
+        EXPECT_TRUE(a || b); // never identity
+        on_a += a;
+        on_b += b;
+    }
+    // 12 of 15 non-identity Paulis touch each side.
+    EXPECT_NEAR(static_cast<double>(on_a) / n, 0.8, 0.01);
+    EXPECT_NEAR(static_cast<double>(on_b) / n, 0.8, 0.01);
+}
+
+// ---------------------------------------------------------------
+// Figure 4 reproduction. Trial counts are kept modest for test
+// runtime; the bench binary runs the full-precision version.
+// ---------------------------------------------------------------
+
+class Fig4Test : public ::testing::Test
+{
+  protected:
+    static PrepEstimate
+    run(ZeroPrepStrategy strategy, std::uint64_t trials,
+        CorrectionSemantics semantics =
+            CorrectionSemantics::DiscardOnSyndrome)
+    {
+        AncillaPrepSimulator sim(ErrorParams::paper(),
+                                 MovementModel{}, 0xf16f4,
+                                 semantics);
+        return sim.estimate(strategy, trials);
+    }
+};
+
+TEST_F(Fig4Test, ZeroNoiseMeansZeroErrors)
+{
+    ErrorParams clean;
+    clean.pGate = 0;
+    clean.pMove = 0;
+    AncillaPrepSimulator sim(clean, MovementModel{}, 1);
+    for (auto strat :
+         {ZeroPrepStrategy::Basic, ZeroPrepStrategy::VerifyOnly,
+          ZeroPrepStrategy::CorrectOnly,
+          ZeroPrepStrategy::VerifyAndCorrect}) {
+        const PrepEstimate est = sim.estimate(strat, 2000);
+        EXPECT_EQ(est.failures, 0u) << zeroPrepStrategyName(strat);
+        EXPECT_EQ(est.discards, 0u);
+    }
+}
+
+TEST_F(Fig4Test, BasicErrorRateOrderOfMagnitude)
+{
+    // Paper: 1.8e-3. Our reconstruction of the layout/schedule puts
+    // it in the low 1e-4..1e-3 band; require the order of magnitude.
+    const PrepEstimate est = run(ZeroPrepStrategy::Basic, 200000);
+    EXPECT_GT(est.errorRate(), 1e-4);
+    EXPECT_LT(est.errorRate(), 3e-3);
+}
+
+TEST_F(Fig4Test, VerifyOnlyBeatsBasic)
+{
+    const PrepEstimate basic = run(ZeroPrepStrategy::Basic, 300000);
+    const PrepEstimate verify =
+        run(ZeroPrepStrategy::VerifyOnly, 300000);
+    EXPECT_LT(verify.errorRate(), basic.errorRate());
+}
+
+TEST_F(Fig4Test, VerifyAndCorrectIsOrdersOfMagnitudeBetter)
+{
+    // Paper: 2.9e-5 vs 3.7e-4 (verify only) — more than an order of
+    // magnitude. Under discard semantics our pipeline is at least
+    // that much better.
+    const PrepEstimate verify =
+        run(ZeroPrepStrategy::VerifyOnly, 200000);
+    const PrepEstimate vc =
+        run(ZeroPrepStrategy::VerifyAndCorrect, 200000);
+    EXPECT_LT(vc.errorRate() * 10.0, verify.errorRate());
+}
+
+TEST_F(Fig4Test, VerificationFailureRateNearPaper)
+{
+    // Paper Section 2.3: ~0.2% verification failure rate.
+    const PrepEstimate est =
+        run(ZeroPrepStrategy::VerifyOnly, 300000);
+    EXPECT_GT(est.discardRate(), 0.0005);
+    EXPECT_LT(est.discardRate(), 0.004);
+}
+
+TEST_F(Fig4Test, ApplyFixSemanticsWeakerThanDiscard)
+{
+    const PrepEstimate discard = run(
+        ZeroPrepStrategy::VerifyAndCorrect, 150000,
+        CorrectionSemantics::DiscardOnSyndrome);
+    const PrepEstimate apply = run(
+        ZeroPrepStrategy::VerifyAndCorrect, 150000,
+        CorrectionSemantics::ApplyFix);
+    EXPECT_LE(discard.errorRate(), apply.errorRate());
+}
+
+TEST_F(Fig4Test, CorrectOnlyUnderApplyFixNearPaperValue)
+{
+    // Paper Fig 4b: 1.1e-3 with in-place corrections.
+    const PrepEstimate est =
+        run(ZeroPrepStrategy::CorrectOnly, 200000,
+            CorrectionSemantics::ApplyFix);
+    EXPECT_GT(est.errorRate(), 2e-4);
+    EXPECT_LT(est.errorRate(), 4e-3);
+}
+
+TEST_F(Fig4Test, MovementErrorsAreSecondOrderEffect)
+{
+    // pMove = 1e-6 contributes little next to pGate = 1e-4:
+    // removing movement errors entirely must not change the basic
+    // rate by more than ~30%.
+    ErrorParams no_move = ErrorParams::paper();
+    no_move.pMove = 0;
+    AncillaPrepSimulator with(ErrorParams::paper(), MovementModel{},
+                              77);
+    AncillaPrepSimulator without(no_move, MovementModel{}, 77);
+    const double a =
+        with.estimate(ZeroPrepStrategy::Basic, 400000).errorRate();
+    const double b =
+        without.estimate(ZeroPrepStrategy::Basic, 400000).errorRate();
+    EXPECT_NEAR(a, b, 0.3 * a + 1e-5);
+}
+
+TEST_F(Fig4Test, Pi8ConversionErrorRateBounded)
+{
+    AncillaPrepSimulator sim(ErrorParams::paper(), MovementModel{},
+                             123);
+    const PrepEstimate est = sim.estimatePi8(100000);
+    // The conversion adds a cat interaction and decode on top of a
+    // verified+corrected zero: still far below the basic rate.
+    EXPECT_LT(est.errorRate(), 1e-3);
+}
+
+TEST_F(Fig4Test, DeterministicAcrossRuns)
+{
+    const PrepEstimate a = run(ZeroPrepStrategy::Basic, 50000);
+    const PrepEstimate b = run(ZeroPrepStrategy::Basic, 50000);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.discards, b.discards);
+}
+
+TEST_F(Fig4Test, HigherGateErrorRaisesOutputError)
+{
+    ErrorParams noisy = ErrorParams::paper();
+    noisy.pGate = 1e-3;
+    AncillaPrepSimulator base(ErrorParams::paper(), MovementModel{},
+                              9);
+    AncillaPrepSimulator hot(noisy, MovementModel{}, 9);
+    const double a =
+        base.estimate(ZeroPrepStrategy::Basic, 100000).errorRate();
+    const double b =
+        hot.estimate(ZeroPrepStrategy::Basic, 100000).errorRate();
+    EXPECT_GT(b, 3.0 * a);
+}
+
+} // namespace
+} // namespace qc

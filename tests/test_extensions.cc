@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the extension components: the event-level factory farm
+ * simulation (cross-validating the analytic Table 6 design), the
+ * tiled Qalypso model (Fig 16), and the on-demand token pools that
+ * underpin the microarchitecture comparisons.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/QalypsoTile.hh"
+#include "arch/SpeedOfData.hh"
+#include "circuit/Dataflow.hh"
+#include "factory/FarmSim.hh"
+#include "kernels/Kernels.hh"
+#include "sim/TokenPool.hh"
+
+namespace qc {
+namespace {
+
+// ---------------------------------------------------------------
+// OnDemandBankPool.
+// ---------------------------------------------------------------
+
+TEST(OnDemandBankPool, IdleProducerHasOneBufferedToken)
+{
+    OnDemandBankPool bank(1, usec(323));
+    // At t = 1 ms the single producer has been idle long enough to
+    // have one ancilla buffered: the first claim is immediate.
+    EXPECT_EQ(bank.claim(1, msec(1)), msec(1));
+    // The second must be produced from scratch.
+    EXPECT_EQ(bank.claim(1, msec(1)), msec(1) + usec(323));
+}
+
+TEST(OnDemandBankPool, BurstSerializesOnOneProducer)
+{
+    OnDemandBankPool bank(1, usec(100));
+    const Time t0 = usec(1000);
+    EXPECT_EQ(bank.claim(1, t0), t0);            // buffered
+    EXPECT_EQ(bank.claim(1, t0), t0 + usec(100));
+    EXPECT_EQ(bank.claim(1, t0), t0 + usec(200));
+    EXPECT_EQ(bank.claim(2, t0), t0 + usec(400));
+    EXPECT_EQ(bank.issued(), 5u);
+}
+
+TEST(OnDemandBankPool, ParallelProducersShareBurst)
+{
+    OnDemandBankPool bank(4, usec(100));
+    const Time t0 = usec(1000);
+    // Four buffered tokens immediately, then one period for more.
+    EXPECT_EQ(bank.claim(4, t0), t0);
+    EXPECT_EQ(bank.claim(4, t0), t0 + usec(100));
+}
+
+TEST(OnDemandBankPool, CannotStockpileBeyondBuffer)
+{
+    // The dedicated-generator pathology the paper targets: a long
+    // idle stretch yields only `producers` buffered ancillae, not
+    // idle_time / period of them.
+    OnDemandBankPool bank(2, usec(100));
+    const Time t0 = msec(100); // 100 ms of idleness
+    EXPECT_EQ(bank.claim(2, t0), t0);
+    EXPECT_GT(bank.claim(1, t0), t0);
+}
+
+TEST(OnDemandBankPoolDeath, RejectsBadParameters)
+{
+    EXPECT_DEATH(OnDemandBankPool(0, usec(1)), "bad parameters");
+}
+
+// ---------------------------------------------------------------
+// Factory farm simulation vs the analytic design.
+// ---------------------------------------------------------------
+
+class FarmSimTest : public ::testing::Test
+{
+  protected:
+    ZeroFactory factory_{IonTrapParams::paper(), 0.998};
+};
+
+TEST_F(FarmSimTest, SteadyThroughputMatchesAnalyticDesign)
+{
+    const FarmSimResult r =
+        simulateZeroFactory(factory_, 20000, 42);
+    // The event-level pipeline must reproduce the closed-form
+    // 10.5 ancillae/ms within a few percent.
+    EXPECT_NEAR(r.throughput, factory_.throughput(),
+                0.06 * factory_.throughput());
+}
+
+TEST_F(FarmSimTest, FirstOutputAfterPipelineFill)
+{
+    const FarmSimResult r = simulateZeroFactory(factory_, 100, 42);
+    // Three candidates must traverse prep+cx+verify before the
+    // first correction completes.
+    EXPECT_GT(r.firstOutput, factory_.latency() / 2);
+    EXPECT_LT(r.firstOutput, 4 * factory_.latency());
+}
+
+TEST_F(FarmSimTest, DiscardRateTracksAcceptance)
+{
+    const FarmSimResult r =
+        simulateZeroFactory(factory_, 50000, 7);
+    const double discard_rate = static_cast<double>(r.discarded)
+        / 50000.0;
+    EXPECT_NEAR(discard_rate, 1.0 - factory_.acceptRate(), 0.002);
+}
+
+TEST_F(FarmSimTest, OutputCountsAccountForGrouping)
+{
+    const FarmSimResult r =
+        simulateZeroFactory(factory_, 9000, 3);
+    // Every output consumes three verified candidates.
+    EXPECT_NEAR(static_cast<double>(r.produced),
+                (9000.0 - static_cast<double>(r.discarded)) / 3.0,
+                1.5);
+}
+
+TEST_F(FarmSimTest, LowerAcceptanceLowersThroughput)
+{
+    const ZeroFactory leaky(IonTrapParams::paper(), 0.5);
+    const FarmSimResult good =
+        simulateZeroFactory(factory_, 12000, 5);
+    const FarmSimResult bad = simulateZeroFactory(leaky, 12000, 5);
+    EXPECT_LT(bad.throughput, 0.7 * good.throughput);
+}
+
+// ---------------------------------------------------------------
+// Tiled Qalypso (Fig 16).
+// ---------------------------------------------------------------
+
+class QalypsoTileTest : public ::testing::Test
+{
+  protected:
+    static const Benchmark &
+    qrca8()
+    {
+        static FowlerSynth synth;
+        static BenchmarkOptions opts = [] {
+            BenchmarkOptions o;
+            o.bits = 8;
+            return o;
+        }();
+        static Benchmark b =
+            makeBenchmark(BenchmarkKind::Qrca, synth, opts);
+        return b;
+    }
+
+    EncodedOpModel model_{IonTrapParams::paper()};
+};
+
+TEST_F(QalypsoTileTest, SingleTileHasNoTeleports)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    QalypsoConfig config;
+    config.tileSize =
+        static_cast<int>(qrca8().lowered.circuit.numQubits());
+    config.factoryAreaPerTile = 4000;
+    const QalypsoRunResult r = runQalypso(g, model_, config);
+    EXPECT_EQ(r.tiles, 1);
+    EXPECT_EQ(r.interTile2q, 0u);
+    EXPECT_EQ(r.teleports, 0u);
+    EXPECT_GT(r.intraTile2q, 0u);
+}
+
+TEST_F(QalypsoTileTest, TinyTilesTeleportHeavily)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    QalypsoConfig config;
+    config.tileSize = 2;
+    config.factoryAreaPerTile = 400;
+    const QalypsoRunResult r = runQalypso(g, model_, config);
+    EXPECT_GT(r.interTileFraction(), 0.3);
+    EXPECT_GT(r.teleports, 0u);
+}
+
+TEST_F(QalypsoTileTest, TileCountCoversAllQubits)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    const int nq =
+        static_cast<int>(qrca8().lowered.circuit.numQubits());
+    QalypsoConfig config;
+    config.tileSize = 10;
+    const QalypsoRunResult r = runQalypso(g, model_, config);
+    EXPECT_EQ(r.tiles, (nq + 9) / 10);
+    EXPECT_DOUBLE_EQ(r.totalFactoryArea,
+                     config.factoryAreaPerTile * r.tiles);
+}
+
+TEST_F(QalypsoTileTest, AncillaAccountingMatchesSpeedOfData)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    const BandwidthSummary bw = bandwidthAtSpeedOfData(g, model_);
+    QalypsoConfig config;
+    config.tileSize = 16;
+    const QalypsoRunResult r = runQalypso(g, model_, config);
+    EXPECT_EQ(r.zerosConsumed, bw.zerosConsumed);
+    EXPECT_EQ(r.pi8Consumed, bw.pi8Consumed);
+}
+
+TEST_F(QalypsoTileTest, MoreFactoryAreaNeverSlower)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    QalypsoConfig small;
+    small.tileSize = 16;
+    small.factoryAreaPerTile = 300;
+    QalypsoConfig big = small;
+    big.factoryAreaPerTile = 3000;
+    const Time slow = runQalypso(g, model_, small).makespan;
+    const Time fast = runQalypso(g, model_, big).makespan;
+    EXPECT_LE(fast, slow);
+}
+
+TEST_F(QalypsoTileTest, RunsSlowerThanSpeedOfData)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    const BandwidthSummary bw = bandwidthAtSpeedOfData(g, model_);
+    QalypsoConfig config;
+    config.tileSize = 16;
+    config.factoryAreaPerTile = 2000;
+    const QalypsoRunResult r = runQalypso(g, model_, config);
+    EXPECT_GE(r.makespan, bw.runtime);
+}
+
+TEST_F(QalypsoTileTest, DeterministicAcrossRuns)
+{
+    DataflowGraph g(qrca8().lowered.circuit);
+    QalypsoConfig config;
+    config.tileSize = 8;
+    const QalypsoRunResult a = runQalypso(g, model_, config);
+    const QalypsoRunResult b = runQalypso(g, model_, config);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.teleports, b.teleports);
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the discrete-event core: event ordering, determinism,
+ * and the token-pool production models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/Simulator.hh"
+#include "sim/TokenPool.hh"
+
+namespace qc {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(usec(30), [&] { order.push_back(3); });
+    sim.schedule(usec(10), [&] { order.push_back(1); });
+    sim.schedule(usec(20), [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, StableForEqualTimestamps)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(usec(5), [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersMayScheduleMore)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            sim.scheduleAfter(usec(10), chain);
+    };
+    sim.schedule(0, chain);
+    const Time end = sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(end, usec(40));
+}
+
+TEST(Simulator, NowAdvancesMonotonically)
+{
+    Simulator sim;
+    Time last = -1;
+    for (Time t : {usec(5), usec(1), usec(9), usec(1)}) {
+        sim.schedule(t, [&] {
+            EXPECT_GE(sim.now(), last);
+            last = sim.now();
+        });
+    }
+    sim.run();
+    EXPECT_EQ(sim.eventsProcessed(), 4u);
+}
+
+TEST(SimulatorDeath, RejectsPastScheduling)
+{
+    Simulator sim;
+    sim.schedule(usec(10), [&] {
+        sim.schedule(usec(5), [] {});
+    });
+    EXPECT_DEATH(sim.run(), "past");
+}
+
+TEST(RateTokenPool, TokensArriveAtRate)
+{
+    // 2 tokens per ms -> k-th token at k * 0.5 ms.
+    RateTokenPool pool(2.0);
+    EXPECT_EQ(pool.claim(1), msec(1) / 2);
+    EXPECT_EQ(pool.claim(1), msec(1));
+    EXPECT_EQ(pool.claim(2), msec(2));
+    EXPECT_EQ(pool.issued(), 4u);
+}
+
+TEST(RateTokenPool, StartupDelaysFirstToken)
+{
+    RateTokenPool pool(1.0, usec(300));
+    EXPECT_EQ(pool.claim(1), usec(300) + msec(1));
+}
+
+TEST(RateTokenPool, InfiniteRateAlwaysAvailable)
+{
+    RateTokenPool pool(0.0);
+    EXPECT_EQ(pool.claim(100), 0);
+}
+
+TEST(RateTokenPool, ZeroClaimIsFree)
+{
+    RateTokenPool pool(1.0);
+    EXPECT_EQ(pool.claim(0), 0);
+    EXPECT_EQ(pool.issued(), 0u);
+}
+
+TEST(BankTokenPool, SingleProducerSerializes)
+{
+    BankTokenPool bank(1, usec(323));
+    EXPECT_EQ(bank.claim(1), usec(323));
+    EXPECT_EQ(bank.claim(1), usec(646));
+    EXPECT_EQ(bank.claim(2), usec(323) * 4);
+}
+
+TEST(BankTokenPool, ParallelProducersBatch)
+{
+    BankTokenPool bank(3, usec(100));
+    // First three tokens in the first period, next three in the
+    // second.
+    EXPECT_EQ(bank.claim(3), usec(100));
+    EXPECT_EQ(bank.claim(1), usec(200));
+    EXPECT_EQ(bank.claim(2), usec(200));
+    EXPECT_EQ(bank.claim(1), usec(300));
+}
+
+TEST(BankTokenPoolDeath, RejectsBadParameters)
+{
+    EXPECT_DEATH(BankTokenPool(0, usec(1)), "bad parameters");
+}
+
+} // namespace
+} // namespace qc
