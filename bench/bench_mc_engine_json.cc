@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Machine-readable Monte Carlo engine baseline: times the scalar
+ * reference engine against the bit-parallel batched engine on the
+ * Figure 4 workloads and writes the trial rates and speedups to
+ * BENCH_mc_engine.json, so future PRs can track the trajectory of
+ * the simulation hot path without parsing human-oriented tables.
+ *
+ * Usage: bench_mc_engine_json [trials=N] [seed=S] [out=PATH]
+ *   trials  batch-engine trials per workload (scalar runs
+ *           trials/16 to keep the wall time balanced)
+ *   out     output path (default BENCH_mc_engine.json)
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "BenchCommon.hh"
+#include "error/AncillaSim.hh"
+#include "error/BatchAncillaSim.hh"
+
+namespace {
+
+using namespace qc;
+using Clock = std::chrono::steady_clock;
+
+template <typename F>
+double
+trialsPerSec(std::uint64_t trials, F &&body)
+{
+    const auto t0 = Clock::now();
+    body();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return secs > 0 ? static_cast<double>(trials) / secs : 0.0;
+}
+
+std::string
+argString(int argc, char **argv, const std::string &name,
+          const std::string &fallback)
+{
+    const std::string prefix = name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return fallback;
+}
+
+struct Workload
+{
+    const char *key;
+    ZeroPrepStrategy strategy;
+    bool pi8;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t trials =
+        bench::argValue(argc, argv, "trials", 4000000);
+    const std::uint64_t seed =
+        bench::argValue(argc, argv, "seed", 20080623);
+    const std::string out =
+        argString(argc, argv, "out", "BENCH_mc_engine.json");
+
+    const Workload workloads[] = {
+        {"basic_prep", ZeroPrepStrategy::Basic, false},
+        {"verify_and_correct", ZeroPrepStrategy::VerifyAndCorrect,
+         false},
+        {"pi8_conversion", ZeroPrepStrategy::VerifyAndCorrect, true},
+    };
+
+    std::ofstream json(out);
+    if (!json) {
+        std::cerr << "cannot open " << out << "\n";
+        return 1;
+    }
+    json << "{\n  \"engine\": \"BatchAncillaSim\",\n"
+         << "  \"batch_trials_per_word_op\": 64,\n"
+         << "  \"trials\": " << trials << ",\n"
+         << "  \"seed\": " << seed << ",\n"
+         << "  \"workloads\": {\n";
+
+    bool first = true;
+    for (const Workload &w : workloads) {
+        const std::uint64_t scalar_trials = trials / 16;
+        AncillaPrepSimulator scalar(ErrorParams::paper(),
+                                    MovementModel{}, seed);
+        PrepEstimate scalar_est;
+        const double scalar_rate =
+            trialsPerSec(scalar_trials, [&] {
+                scalar_est = w.pi8
+                    ? scalar.estimateScalarPi8(scalar_trials)
+                    : scalar.estimateScalar(w.strategy,
+                                            scalar_trials);
+            });
+
+        BatchAncillaSim batch(ErrorParams::paper(), MovementModel{},
+                              seed);
+        PrepEstimate batch_est;
+        const double batch_rate = trialsPerSec(trials, [&] {
+            batch_est = w.pi8 ? batch.estimatePi8(trials)
+                              : batch.estimate(w.strategy, trials);
+        });
+
+        if (!first)
+            json << ",\n";
+        first = false;
+        json << "    \"" << w.key << "\": {\n"
+             << "      \"scalar_trials_per_sec\": " << scalar_rate
+             << ",\n"
+             << "      \"batch_trials_per_sec\": " << batch_rate
+             << ",\n"
+             << "      \"speedup\": "
+             << (scalar_rate > 0 ? batch_rate / scalar_rate : 0.0)
+             << ",\n"
+             << "      \"scalar_error_rate\": "
+             << scalar_est.errorRate() << ",\n"
+             << "      \"batch_error_rate\": "
+             << batch_est.errorRate() << "\n    }";
+        std::cout << w.key << ": scalar "
+                  << scalar_rate / 1e6 << " Mtrials/s, batch "
+                  << batch_rate / 1e6 << " Mtrials/s ("
+                  << (scalar_rate > 0 ? batch_rate / scalar_rate
+                                      : 0.0)
+                  << "x)\n";
+    }
+    json << "\n  }\n}\n";
+    std::cout << "wrote " << out << "\n";
+    return 0;
+}

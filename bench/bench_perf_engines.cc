@@ -13,6 +13,7 @@
 #include "arch/ThrottledRun.hh"
 #include "circuit/Dataflow.hh"
 #include "error/AncillaSim.hh"
+#include "error/BatchAncillaSim.hh"
 #include "factory/ZeroFactory.hh"
 #include "kernels/Kernels.hh"
 #include "sim/Simulator.hh"
@@ -61,6 +62,66 @@ BM_MonteCarloVerifyAndCorrect(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MonteCarloVerifyAndCorrect);
+
+// Batched (bit-parallel) counterparts: one iteration advances a
+// whole batch, so items/sec reads directly as trials/sec and is
+// comparable with the scalar BM_MonteCarlo* rates above.
+
+void
+BM_BatchMonteCarloBasicPrep(benchmark::State &state)
+{
+    BatchAncillaSim sim(ErrorParams::paper(), MovementModel{}, 1);
+    const std::uint64_t chunk =
+        static_cast<std::uint64_t>(sim.batchTrials()) * 16;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.estimate(ZeroPrepStrategy::Basic, chunk));
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_BatchMonteCarloBasicPrep);
+
+void
+BM_BatchMonteCarloVerifyAndCorrect(benchmark::State &state)
+{
+    BatchAncillaSim sim(ErrorParams::paper(), MovementModel{}, 2);
+    const std::uint64_t chunk =
+        static_cast<std::uint64_t>(sim.batchTrials()) * 16;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.estimate(ZeroPrepStrategy::VerifyAndCorrect, chunk));
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_BatchMonteCarloVerifyAndCorrect);
+
+void
+BM_BatchMonteCarloPi8(benchmark::State &state)
+{
+    BatchAncillaSim sim(ErrorParams::paper(), MovementModel{}, 3);
+    const std::uint64_t chunk =
+        static_cast<std::uint64_t>(sim.batchTrials()) * 16;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.estimatePi8(chunk));
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_BatchMonteCarloPi8);
+
+void
+BM_BernoulliMaskPaperGateRate(benchmark::State &state)
+{
+    Rng rng(7);
+    BernoulliWord sampler(ErrorParams::paper().pGate);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.next(rng));
+    // 64 Bernoulli draws per word.
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BernoulliMaskPaperGateRate);
 
 void
 BM_EventQueueThroughput(benchmark::State &state)

@@ -2,6 +2,7 @@
 
 #include "codes/SteaneCode.hh"
 #include "common/Logging.hh"
+#include "error/BatchAncillaSim.hh"
 
 namespace qc {
 
@@ -307,6 +308,14 @@ PrepEstimate
 AncillaPrepSimulator::estimate(ZeroPrepStrategy strategy,
                                std::uint64_t trials)
 {
+    BatchAncillaSim batch(errors_, movement_, rng_(), semantics_);
+    return batch.estimate(strategy, trials);
+}
+
+PrepEstimate
+AncillaPrepSimulator::estimateScalar(ZeroPrepStrategy strategy,
+                                     std::uint64_t trials)
+{
     PrepEstimate est;
     est.trials = trials;
     const std::uint64_t attempts_before = verifyAttempts_;
@@ -390,6 +399,13 @@ AncillaPrepSimulator::simulatePi8Once()
 
 PrepEstimate
 AncillaPrepSimulator::estimatePi8(std::uint64_t trials)
+{
+    BatchAncillaSim batch(errors_, movement_, rng_(), semantics_);
+    return batch.estimatePi8(trials);
+}
+
+PrepEstimate
+AncillaPrepSimulator::estimateScalarPi8(std::uint64_t trials)
 {
     PrepEstimate est;
     est.trials = trials;

@@ -128,9 +128,23 @@ class AncillaPrepSimulator
      */
     PrepOutcome simulateOnce(ZeroPrepStrategy strategy);
 
-    /** Run many trials and aggregate. */
+    /**
+     * Run many trials and aggregate. Delegates to the bit-parallel
+     * batched engine (BatchAncillaSim), which advances 64+ trials
+     * per word op; the run seed is drawn from this simulator's RNG
+     * stream so successive calls are independent but a fixed
+     * construction seed reproduces the same sequence.
+     */
     PrepEstimate estimate(ZeroPrepStrategy strategy,
                           std::uint64_t trials);
+
+    /**
+     * Scalar reference version of estimate(): one simulateOnce call
+     * per trial. Kept for cross-validation of the batched engine
+     * and for microbenchmark baselines.
+     */
+    PrepEstimate estimateScalar(ZeroPrepStrategy strategy,
+                                std::uint64_t trials);
 
     /**
      * Simulate one pi/8 ancilla conversion (Fig 5b): a verified and
@@ -140,8 +154,11 @@ class AncillaPrepSimulator
      */
     PrepOutcome simulatePi8Once();
 
-    /** Aggregate pi/8 conversion failure rate. */
+    /** Aggregate pi/8 conversion failure rate (batched engine). */
     PrepEstimate estimatePi8(std::uint64_t trials);
+
+    /** Scalar reference version of estimatePi8(). */
+    PrepEstimate estimateScalarPi8(std::uint64_t trials);
 
   private:
     /** Run the Fig 3b basic encode on block at base offset. */

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Batched (bit-parallel) Monte Carlo estimation of the encoded-zero
+ * ancilla preparation strategies and the pi/8 conversion: the
+ * 64-trials-per-word-op production engine behind
+ * AncillaPrepSimulator::estimate / estimatePi8.
+ *
+ * Semantics match the scalar reference (AncillaPrepSimulator::
+ * simulateOnce) trial-for-trial in distribution: the same circuits,
+ * the same error injection sites and Pauli kinds, the same
+ * verification-retry and correction-discard control flow. Per-trial
+ * divergence (a block failing verification, a correction stage
+ * detecting an error) is handled with active-trial masks: finished
+ * trials are tallied by popcount and dropped from the mask, while
+ * stragglers rerun in lockstep until the batch drains.
+ *
+ * estimate()/estimatePi8() shard the batch sequence across worker
+ * threads. Each 64*wordsPerQubit-trial batch owns an independent RNG
+ * stream split deterministically from the run seed, so results are
+ * bit-identical for a given (seed, trial count) regardless of thread
+ * count or scheduling.
+ */
+
+#ifndef QC_ERROR_BATCH_ANCILLA_SIM_HH
+#define QC_ERROR_BATCH_ANCILLA_SIM_HH
+
+#include <cstdint>
+
+#include "error/AncillaSim.hh"
+#include "error/BatchPauliFrame.hh"
+
+namespace qc {
+
+/** Tuning knobs for the batched engine. */
+struct BatchSimConfig
+{
+    /**
+     * Words per qubit bit-plane: each batch runs 64 * wordsPerQubit
+     * concurrent trials. A few hundred trials per batch amortizes
+     * the per-batch setup without inflating straggler rework in the
+     * retry loops.
+     */
+    int wordsPerQubit = 4;
+
+    /**
+     * Worker threads sharding the batch sequence. 0 selects
+     * std::thread::hardware_concurrency(). Results are independent
+     * of this value.
+     */
+    int threads = 1;
+};
+
+/**
+ * Bit-parallel batched counterpart of AncillaPrepSimulator.
+ *
+ * Successive estimate() calls on one instance consume a
+ * deterministic sequence of run seeds, so repeated estimates are
+ * independent but a freshly constructed instance always reproduces
+ * the same sequence.
+ */
+class BatchAncillaSim
+{
+  public:
+    BatchAncillaSim(ErrorParams errors, MovementModel movement,
+                    std::uint64_t seed,
+                    CorrectionSemantics semantics =
+                        CorrectionSemantics::DiscardOnSyndrome,
+                    BatchSimConfig config = {});
+
+    /** Batched equivalent of AncillaPrepSimulator::estimate. */
+    PrepEstimate estimate(ZeroPrepStrategy strategy,
+                          std::uint64_t trials);
+
+    /** Batched equivalent of AncillaPrepSimulator::estimatePi8. */
+    PrepEstimate estimatePi8(std::uint64_t trials);
+
+    /** Trials advanced per batch (64 * wordsPerQubit). */
+    int batchTrials() const { return 64 * config_.wordsPerQubit; }
+
+  private:
+    PrepEstimate run(ZeroPrepStrategy strategy, bool pi8,
+                     std::uint64_t trials);
+
+    ErrorParams errors_;
+    MovementModel movement_;
+    CorrectionSemantics semantics_;
+    BatchSimConfig config_;
+    Rng seeder_;
+};
+
+} // namespace qc
+
+#endif // QC_ERROR_BATCH_ANCILLA_SIM_HH

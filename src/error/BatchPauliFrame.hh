@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Bit-parallel batched Pauli-frame tracking: the trial-major
+ * transposition of PauliFrame.
+ *
+ * Where PauliFrame stores one trial as an X and a Z mask over 64
+ * qubits, BatchPauliFrame stores, per qubit, `wordsPerQubit` 64-bit
+ * words whose bit t is the X (resp. Z) error of Monte Carlo trial t.
+ * Every Clifford conjugation then advances 64*wordsPerQubit
+ * independent trials with a handful of XOR/AND word operations and
+ * no branches, which is the standard batched-frame layout from the
+ * stabilizer-simulation literature.
+ *
+ * All mutators take an active-trial mask (one word array of the
+ * same width): bits outside the mask are left untouched, which is
+ * what lets divergent per-trial control flow (verification retries,
+ * correction-stage discards) run in lockstep — finished trials are
+ * simply dropped from the mask while stragglers loop again.
+ *
+ * Error injection draws one Bernoulli(p) word per mask word via
+ * BernoulliWord (~1 uniform draw in the common no-fault case) and
+ * then fixes up only the hit trials, drawing the uniform Pauli kind
+ * per set bit exactly as the scalar engine does.
+ */
+
+#ifndef QC_ERROR_BATCH_PAULI_FRAME_HH
+#define QC_ERROR_BATCH_PAULI_FRAME_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/Rng.hh"
+
+namespace qc {
+
+/** X/Z error bit-planes over numQubits x (64 * wordsPerQubit) trials. */
+class BatchPauliFrame
+{
+  public:
+    using Word = std::uint64_t;
+
+    BatchPauliFrame(int num_qubits, int words_per_qubit)
+        : numQubits_(num_qubits), words_(words_per_qubit),
+          xw_(static_cast<std::size_t>(num_qubits * words_per_qubit)),
+          zw_(static_cast<std::size_t>(num_qubits * words_per_qubit))
+    {
+        assert(num_qubits > 0 && words_per_qubit > 0);
+    }
+
+    int numQubits() const { return numQubits_; }
+
+    /** Words per qubit bit-plane (batch width / 64). */
+    int wordsPerQubit() const { return words_; }
+
+    /** Concurrent Monte Carlo trials per batch. */
+    int trials() const { return 64 * words_; }
+
+    /** X bit-plane of qubit q (wordsPerQubit() words). */
+    Word *x(int q) { return &xw_[plane(q)]; }
+    const Word *x(int q) const { return &xw_[plane(q)]; }
+
+    /** Z bit-plane of qubit q. */
+    Word *z(int q) { return &zw_[plane(q)]; }
+    const Word *z(int q) const { return &zw_[plane(q)]; }
+
+    /** Clear every error bit of every trial. */
+    void
+    clear()
+    {
+        std::fill(xw_.begin(), xw_.end(), Word{0});
+        std::fill(zw_.begin(), zw_.end(), Word{0});
+    }
+
+    /** Forget qubit q's errors in the masked trials (fresh prep). */
+    void
+    clearQubit(int q, const Word *m)
+    {
+        Word *xq = x(q);
+        Word *zq = z(q);
+        for (int w = 0; w < words_; ++w) {
+            xq[w] &= ~m[w];
+            zq[w] &= ~m[w];
+        }
+    }
+
+    /** Toggle an X error on q in the masked trials. */
+    void
+    flipX(int q, const Word *m)
+    {
+        Word *xq = x(q);
+        for (int w = 0; w < words_; ++w)
+            xq[w] ^= m[w];
+    }
+
+    /** Toggle a Z error on q in the masked trials. */
+    void
+    flipZ(int q, const Word *m)
+    {
+        Word *zq = z(q);
+        for (int w = 0; w < words_; ++w)
+            zq[w] ^= m[w];
+    }
+
+    /** @name Branch-free masked Clifford conjugation. */
+    /** @{ */
+
+    /** Hadamard: swap X and Z in the masked trials (XOR swap). */
+    void
+    applyH(int q, const Word *m)
+    {
+        Word *xq = x(q);
+        Word *zq = z(q);
+        for (int w = 0; w < words_; ++w) {
+            const Word diff = (xq[w] ^ zq[w]) & m[w];
+            xq[w] ^= diff;
+            zq[w] ^= diff;
+        }
+    }
+
+    /** Phase gate: X -> Y (adds Z where X is set). */
+    void
+    applyS(int q, const Word *m)
+    {
+        const Word *xq = x(q);
+        Word *zq = z(q);
+        for (int w = 0; w < words_; ++w)
+            zq[w] ^= xq[w] & m[w];
+    }
+
+    /** CX: X on control spreads to target; Z on target to control. */
+    void
+    applyCx(int control, int target, const Word *m)
+    {
+        const Word *xc = x(control);
+        Word *xt = x(target);
+        Word *zc = z(control);
+        const Word *zt = z(target);
+        for (int w = 0; w < words_; ++w) {
+            xt[w] ^= xc[w] & m[w];
+            zc[w] ^= zt[w] & m[w];
+        }
+    }
+
+    /** CZ: X on either side deposits Z on the other. */
+    void
+    applyCz(int a, int b, const Word *m)
+    {
+        const Word *xa = x(a);
+        const Word *xb = x(b);
+        Word *za = z(a);
+        Word *zb = z(b);
+        for (int w = 0; w < words_; ++w) {
+            zb[w] ^= xa[w] & m[w];
+            za[w] ^= xb[w] & m[w];
+        }
+    }
+
+    /** @} */
+
+    /** @name Batched error injection. */
+    /** @{ */
+
+    /**
+     * Uniform non-identity Pauli with probability p on qubit q, per
+     * masked trial. One Bernoulli word per mask word; the Pauli kind
+     * is drawn per hit trial (hits are rare at physical rates).
+     */
+    void
+    inject1q(Rng &rng, BernoulliWord &p, int q, const Word *m)
+    {
+        Word *xq = x(q);
+        Word *zq = z(q);
+        for (int w = 0; w < words_; ++w) {
+            if (!m[w])
+                continue;
+            Word hit = p.next(rng) & m[w];
+            while (hit) {
+                const int t = __builtin_ctzll(hit);
+                hit &= hit - 1;
+                const int pauli =
+                    static_cast<int>(rng.below(3)) + 1;
+                if (pauli & 1)
+                    xq[w] ^= Word{1} << t;
+                if (pauli & 2)
+                    zq[w] ^= Word{1} << t;
+            }
+        }
+    }
+
+    /** Uniform non-identity two-qubit Pauli, per masked trial. */
+    void
+    inject2q(Rng &rng, BernoulliWord &p, int a, int b, const Word *m)
+    {
+        Word *xa = x(a);
+        Word *za = z(a);
+        Word *xb = x(b);
+        Word *zb = z(b);
+        for (int w = 0; w < words_; ++w) {
+            if (!m[w])
+                continue;
+            Word hit = p.next(rng) & m[w];
+            while (hit) {
+                const int t = __builtin_ctzll(hit);
+                hit &= hit - 1;
+                const int pauli =
+                    static_cast<int>(rng.below(15)) + 1;
+                if (pauli & 1)
+                    xa[w] ^= Word{1} << t;
+                if (pauli & 2)
+                    za[w] ^= Word{1} << t;
+                if (pauli & 4)
+                    xb[w] ^= Word{1} << t;
+                if (pauli & 8)
+                    zb[w] ^= Word{1} << t;
+            }
+        }
+    }
+
+    /** @} */
+
+  private:
+    std::size_t
+    plane(int q) const
+    {
+        assert(q >= 0 && q < numQubits_);
+        return static_cast<std::size_t>(q)
+            * static_cast<std::size_t>(words_);
+    }
+
+    int numQubits_;
+    int words_;
+    std::vector<Word> xw_;
+    std::vector<Word> zw_;
+};
+
+} // namespace qc
+
+#endif // QC_ERROR_BATCH_PAULI_FRAME_HH

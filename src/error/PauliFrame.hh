@@ -13,6 +13,7 @@
 #ifndef QC_ERROR_PAULI_FRAME_HH
 #define QC_ERROR_PAULI_FRAME_HH
 
+#include <cassert>
 #include <cstdint>
 
 #include "common/Rng.hh"
@@ -41,14 +42,16 @@ class PauliFrame
     std::uint64_t
     xBits(int base, int width) const
     {
-        return (x_ >> base) & maskOf(width);
+        assert(base >= 0 && width >= 0 && base + width <= 64);
+        return width <= 0 ? 0 : (x_ >> base) & maskOf(width);
     }
 
     /** Z-error bits within [base, base+width). */
     std::uint64_t
     zBits(int base, int width) const
     {
-        return (z_ >> base) & maskOf(width);
+        assert(base >= 0 && width >= 0 && base + width <= 64);
+        return width <= 0 ? 0 : (z_ >> base) & maskOf(width);
     }
 
     /** True if qubit q carries an X component. */
@@ -67,6 +70,12 @@ class PauliFrame
     void
     clearRange(int base, int width)
     {
+        assert(base >= 0 && width >= 0 && base + width <= 64);
+        if (width <= 0)
+            return;
+        // maskOf(width) << base is safe: width >= 1 implies
+        // base <= 63 here, and base + width == 64 keeps the shifted
+        // mask inside the word.
         const std::uint64_t m = ~(maskOf(width) << base);
         x_ &= m;
         z_ &= m;
@@ -141,11 +150,19 @@ class PauliFrame
     /** @} */
 
   private:
-    static std::uint64_t bit(int q) { return std::uint64_t{1} << q; }
+    static std::uint64_t
+    bit(int q)
+    {
+        assert(q >= 0 && q < 64);
+        return std::uint64_t{1} << q;
+    }
 
     static std::uint64_t
     maskOf(int width)
     {
+        assert(width >= 0);
+        if (width <= 0)
+            return 0;
         return width >= 64 ? ~std::uint64_t{0}
                            : (std::uint64_t{1} << width) - 1;
     }

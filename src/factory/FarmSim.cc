@@ -75,6 +75,13 @@ simulateZeroFactory(const ZeroFactory &factory, int candidates,
     StageBank correct(stages[4]);
 
     Rng rng(seed);
+    // Verification post-selection outcomes are drawn 64 candidates
+    // at a time through the batched Bernoulli sampler (bit t of a
+    // word = candidate t's discard coin), amortizing the RNG cost
+    // the same way the batched Monte Carlo engine does.
+    BernoulliWord discard_coin(1.0 - factory.acceptRate());
+    std::uint64_t discard_bits = 0;
+    int discard_bits_left = 0;
     FarmSimResult result;
 
     // Verified candidates waiting to be grouped in threes for the
@@ -97,7 +104,14 @@ simulateZeroFactory(const ZeroFactory &factory, int candidates,
         const Time checked =
             verify.process(std::max(encoded, cat_ready));
 
-        if (!rng.bernoulli(factory.acceptRate())) {
+        if (discard_bits_left == 0) {
+            discard_bits = discard_coin.next(rng);
+            discard_bits_left = 64;
+        }
+        const bool rejected = discard_bits & 1;
+        discard_bits >>= 1;
+        --discard_bits_left;
+        if (rejected) {
             ++result.discarded;
             continue;
         }

@@ -3,8 +3,28 @@
 #include <cmath>
 
 #include "common/Logging.hh"
+#include "error/BatchAncillaSim.hh"
 
 namespace qc {
+
+double
+measuredZeroAcceptRate(ErrorParams errors, MovementModel movement,
+                       std::uint64_t seed, std::uint64_t trials)
+{
+    BatchAncillaSim sim(errors, movement, seed);
+    const PrepEstimate est =
+        sim.estimate(ZeroPrepStrategy::VerifyOnly, trials);
+    return 1.0 - est.discardRate();
+}
+
+ZeroFactory
+ZeroFactory::calibrated(IonTrapParams tech, ErrorParams errors,
+                        MovementModel movement, std::uint64_t seed,
+                        std::uint64_t trials)
+{
+    return ZeroFactory(
+        tech, measuredZeroAcceptRate(errors, movement, seed, trials));
+}
 
 SimpleZeroFactory::SimpleZeroFactory(IonTrapParams tech) : tech_(tech)
 {

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests for the bit-parallel batched Monte Carlo engine: the
+ * BernoulliWord mask sampler (bias and within-word independence),
+ * masked BatchPauliFrame algebra against the scalar PauliFrame,
+ * statistical equivalence of BatchAncillaSim with the scalar
+ * reference engine, and bit-reproducibility across thread counts.
+ */
+
+#include <array>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "codes/SteaneCode.hh"
+#include "common/Stats.hh"
+#include "error/AncillaSim.hh"
+#include "error/BatchAncillaSim.hh"
+#include "error/BatchPauliFrame.hh"
+#include "error/PauliFrame.hh"
+
+namespace qc {
+namespace {
+
+// ---------------------------------------------------------------
+// BernoulliWord / Rng::bernoulliMask.
+// ---------------------------------------------------------------
+
+TEST(BernoulliWord, EdgeProbabilities)
+{
+    Rng rng(1);
+    BernoulliWord never(0.0);
+    BernoulliWord always(1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(never.next(rng), 0u);
+        EXPECT_EQ(always.next(rng), ~std::uint64_t{0});
+    }
+    EXPECT_EQ(rng.bernoulliMask(0.0), 0u);
+    EXPECT_EQ(rng.bernoulliMask(1.0), ~std::uint64_t{0});
+}
+
+TEST(BernoulliWord, MeanMatchesPAcrossScales)
+{
+    for (double p : {1e-4, 1e-2, 0.1, 0.5, 0.9}) {
+        Rng rng(42);
+        BernoulliWord sampler(p);
+        const int words = p < 1e-3 ? 400000 : 40000;
+        std::uint64_t bits = 0;
+        for (int i = 0; i < words; ++i)
+            bits += static_cast<std::uint64_t>(
+                __builtin_popcountll(sampler.next(rng)));
+        const double n = 64.0 * words;
+        const double rate = static_cast<double>(bits) / n;
+        // Allow five binomial standard deviations.
+        const double sd = std::sqrt(p * (1.0 - p) / n);
+        EXPECT_NEAR(rate, p, 5.0 * sd + 1e-12) << "p=" << p;
+    }
+}
+
+TEST(BernoulliWord, ChiSquaredUnbiasedAcrossBitPositions)
+{
+    // Bit position must not bias the sampler: the geometric gap
+    // walk sets low positions first, so a systematic positional
+    // bias is the natural failure mode.
+    const double p = 0.3;
+    const int words = 50000;
+    Rng rng(7);
+    BernoulliWord sampler(p);
+    std::array<std::uint64_t, 64> counts{};
+    for (int i = 0; i < words; ++i) {
+        std::uint64_t w = sampler.next(rng);
+        while (w) {
+            counts[static_cast<std::size_t>(
+                __builtin_ctzll(w))] += 1;
+            w &= w - 1;
+        }
+    }
+    const double expected = p * words;
+    const double var = words * p * (1.0 - p);
+    double chi2 = 0;
+    for (std::uint64_t c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / var;
+    }
+    // chi2 ~ ChiSquared(64): mean 64, sd ~11.3. 110 is past the
+    // 99.9th percentile; 25 guards against a degenerate sampler.
+    EXPECT_LT(chi2, 110.0);
+    EXPECT_GT(chi2, 25.0);
+}
+
+TEST(BernoulliWord, SetBitCountFollowsBinomial)
+{
+    // Within-word independence: the popcount distribution must be
+    // Binomial(64, p), which a correlated sampler (e.g. a gap walk
+    // with an off-by-one) would miss even with the right mean.
+    const double p = 0.05;
+    const int words = 100000;
+    Rng rng(11);
+    BernoulliWord sampler(p);
+    constexpr int buckets = 10; // 0..8 hits, then >= 9
+    std::array<std::uint64_t, buckets> counts{};
+    for (int i = 0; i < words; ++i) {
+        const int k =
+            __builtin_popcountll(sampler.next(rng));
+        counts[static_cast<std::size_t>(
+            k >= buckets - 1 ? buckets - 1 : k)] += 1;
+    }
+    // Binomial(64, p) pmf, iteratively.
+    std::array<double, buckets> prob{};
+    double pmf = std::pow(1.0 - p, 64);
+    double tail = 1.0;
+    for (int k = 0; k < buckets - 1; ++k) {
+        prob[static_cast<std::size_t>(k)] = pmf;
+        tail -= pmf;
+        pmf *= (64.0 - k) / (k + 1.0) * p / (1.0 - p);
+    }
+    prob[buckets - 1] = tail;
+    double chi2 = 0;
+    for (int k = 0; k < buckets; ++k) {
+        const double e =
+            prob[static_cast<std::size_t>(k)] * words;
+        const double d =
+            static_cast<double>(
+                counts[static_cast<std::size_t>(k)])
+            - e;
+        chi2 += d * d / e;
+    }
+    // ChiSquared(9): 99.9th percentile ~ 27.9.
+    EXPECT_LT(chi2, 30.0);
+}
+
+// ---------------------------------------------------------------
+// Masked BatchPauliFrame algebra vs the scalar PauliFrame.
+// ---------------------------------------------------------------
+
+TEST(BatchPauliFrame, MaskedOpsMatchScalarFramePerTrial)
+{
+    constexpr int qubits = 8;
+    Rng rng(123);
+    BatchPauliFrame batch(qubits, 1);
+    std::array<PauliFrame, 64> scalar;
+
+    for (int step = 0; step < 5000; ++step) {
+        const std::uint64_t m = rng();
+        const int kind = static_cast<int>(rng.below(7));
+        const int a = static_cast<int>(rng.below(qubits));
+        int b = static_cast<int>(rng.below(qubits - 1));
+        if (b >= a)
+            ++b;
+        for (int t = 0; t < 64; ++t) {
+            if (!((m >> t) & 1))
+                continue;
+            PauliFrame &f = scalar[static_cast<std::size_t>(t)];
+            switch (kind) {
+              case 0: f.applyH(a); break;
+              case 1: f.applyS(a); break;
+              case 2: f.applyCx(a, b); break;
+              case 3: f.applyCz(a, b); break;
+              case 4: f.flipX(a); break;
+              case 5: f.flipZ(a); break;
+              case 6: f.clearRange(a, 1); break;
+            }
+        }
+        switch (kind) {
+          case 0: batch.applyH(a, &m); break;
+          case 1: batch.applyS(a, &m); break;
+          case 2: batch.applyCx(a, b, &m); break;
+          case 3: batch.applyCz(a, b, &m); break;
+          case 4: batch.flipX(a, &m); break;
+          case 5: batch.flipZ(a, &m); break;
+          case 6: batch.clearQubit(a, &m); break;
+        }
+    }
+
+    for (int q = 0; q < qubits; ++q) {
+        for (int t = 0; t < 64; ++t) {
+            const PauliFrame &f =
+                scalar[static_cast<std::size_t>(t)];
+            EXPECT_EQ((batch.x(q)[0] >> t) & 1,
+                      static_cast<std::uint64_t>(f.hasX(q)))
+                << "q=" << q << " t=" << t;
+            EXPECT_EQ((batch.z(q)[0] >> t) & 1,
+                      static_cast<std::uint64_t>(f.hasZ(q)))
+                << "q=" << q << " t=" << t;
+        }
+    }
+}
+
+TEST(BatchPauliFrame, InjectionRespectsMaskAndProbability)
+{
+    BatchPauliFrame frame(2, 1);
+    Rng rng(5);
+    BernoulliWord certain(1.0);
+    const std::uint64_t mask = 0xAAAAAAAAAAAAAAAAull;
+
+    frame.inject1q(rng, certain, 0, &mask);
+    for (int t = 0; t < 64; ++t) {
+        const bool hit = ((frame.x(0)[0] | frame.z(0)[0]) >> t) & 1;
+        EXPECT_EQ(hit, ((mask >> t) & 1) != 0) << "t=" << t;
+    }
+
+    frame.clear();
+    frame.inject2q(rng, certain, 0, 1, &mask);
+    for (int t = 0; t < 64; ++t) {
+        const bool hit = ((frame.x(0)[0] | frame.z(0)[0]
+                           | frame.x(1)[0] | frame.z(1)[0])
+                          >> t)
+            & 1;
+        EXPECT_EQ(hit, ((mask >> t) & 1) != 0) << "t=" << t;
+    }
+
+    // Rare-injection rate sanity (also exercised by the estimate
+    // equivalence tests below).
+    frame.clear();
+    BernoulliWord pctw(0.01);
+    const std::uint64_t all = ~std::uint64_t{0};
+    int faults = 0;
+    const int rounds = 20000;
+    for (int i = 0; i < rounds; ++i) {
+        frame.clearQubit(0, &all);
+        frame.inject1q(rng, pctw, 0, &all);
+        faults += __builtin_popcountll(frame.x(0)[0]
+                                       | frame.z(0)[0]);
+    }
+    EXPECT_NEAR(static_cast<double>(faults) / (64.0 * rounds), 0.01,
+                0.001);
+}
+
+// ---------------------------------------------------------------
+// Word-parallel classification identity.
+// ---------------------------------------------------------------
+
+TEST(SteaneShortcut, ParityXorSyndromeMatchesBadCoset)
+{
+    // The batched engine classifies residuals word-parallel via
+    // badCoset(e) == parity(e) XOR (syndrome(e) != 0); prove the
+    // identity over all 128 patterns.
+    for (unsigned e = 0; e < 128; ++e) {
+        const auto m = static_cast<SteaneCode::Mask>(e);
+        EXPECT_EQ(SteaneCode::badCoset(m),
+                  SteaneCode::parity(m)
+                      ^ (SteaneCode::syndromeOf(m) != 0))
+            << "e=" << e;
+    }
+}
+
+// ---------------------------------------------------------------
+// BatchAncillaSim vs the scalar reference engine.
+// ---------------------------------------------------------------
+
+bool
+overlap(const Interval &a, const Interval &b)
+{
+    return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+TEST(BatchAncillaSim, MatchesScalarEngineForAllStrategies)
+{
+    const std::uint64_t scalar_trials = 150000;
+    const std::uint64_t batch_trials = 1200000;
+    for (auto semantics :
+         {CorrectionSemantics::DiscardOnSyndrome,
+          CorrectionSemantics::ApplyFix}) {
+        for (auto strat :
+             {ZeroPrepStrategy::Basic, ZeroPrepStrategy::VerifyOnly,
+              ZeroPrepStrategy::CorrectOnly,
+              ZeroPrepStrategy::VerifyAndCorrect}) {
+            AncillaPrepSimulator scalar(ErrorParams::paper(),
+                                        MovementModel{}, 0xabc,
+                                        semantics);
+            BatchAncillaSim batch(ErrorParams::paper(),
+                                  MovementModel{}, 0xdef,
+                                  semantics);
+            const PrepEstimate s =
+                scalar.estimateScalar(strat, scalar_trials);
+            const PrepEstimate b =
+                batch.estimate(strat, batch_trials);
+            EXPECT_TRUE(overlap(s.errorInterval(),
+                                b.errorInterval()))
+                << zeroPrepStrategyName(strat) << " scalar ["
+                << s.errorInterval().lo << ", "
+                << s.errorInterval().hi << "] batch ["
+                << b.errorInterval().lo << ", "
+                << b.errorInterval().hi << "]";
+            // Verification discard rates must agree as well.
+            if (s.verifyTrials && b.verifyTrials) {
+                EXPECT_TRUE(overlap(
+                    wilsonInterval(s.discards, s.verifyTrials),
+                    wilsonInterval(b.discards, b.verifyTrials)))
+                    << zeroPrepStrategyName(strat);
+            }
+        }
+    }
+}
+
+TEST(BatchAncillaSim, MatchesScalarEngineForPi8)
+{
+    AncillaPrepSimulator scalar(ErrorParams::paper(),
+                                MovementModel{}, 0x314);
+    BatchAncillaSim batch(ErrorParams::paper(), MovementModel{},
+                          0x159);
+    const PrepEstimate s = scalar.estimateScalarPi8(100000);
+    const PrepEstimate b = batch.estimatePi8(800000);
+    EXPECT_TRUE(overlap(s.errorInterval(), b.errorInterval()))
+        << "scalar [" << s.errorInterval().lo << ", "
+        << s.errorInterval().hi << "] batch ["
+        << b.errorInterval().lo << ", " << b.errorInterval().hi
+        << "]";
+}
+
+TEST(BatchAncillaSim, ZeroNoiseMeansZeroFailuresExactTallies)
+{
+    ErrorParams clean;
+    clean.pGate = 0;
+    clean.pMove = 0;
+    BatchAncillaSim sim(clean, MovementModel{}, 3);
+    // 100 is deliberately not a multiple of the 64-trial word
+    // width: the partial-batch mask must keep tallies exact.
+    const PrepEstimate est =
+        sim.estimate(ZeroPrepStrategy::VerifyOnly, 100);
+    EXPECT_EQ(est.trials, 100u);
+    EXPECT_EQ(est.failures, 0u);
+    EXPECT_EQ(est.discards, 0u);
+    // Noiseless verification passes first try for every trial.
+    EXPECT_EQ(est.verifyTrials, 100u);
+
+    const PrepEstimate vc =
+        sim.estimate(ZeroPrepStrategy::VerifyAndCorrect, 100);
+    EXPECT_EQ(vc.failures, 0u);
+    EXPECT_EQ(vc.correctionDiscards, 0u);
+    // Bit and phase stage once per trial.
+    EXPECT_EQ(vc.correctionTrials, 200u);
+
+    EXPECT_EQ(sim.estimate(ZeroPrepStrategy::Basic, 0).trials, 0u);
+}
+
+// ---------------------------------------------------------------
+// Determinism: fixed seed + trial count => identical estimates,
+// independent of threading and repeatable across instances.
+// ---------------------------------------------------------------
+
+bool
+sameEstimate(const PrepEstimate &a, const PrepEstimate &b)
+{
+    return a.trials == b.trials && a.failures == b.failures
+        && a.discards == b.discards
+        && a.verifyTrials == b.verifyTrials
+        && a.correctionDiscards == b.correctionDiscards
+        && a.correctionTrials == b.correctionTrials;
+}
+
+TEST(BatchAncillaSim, BitReproducibleAcrossThreadCounts)
+{
+    const std::uint64_t trials = 300000;
+    for (auto strat : {ZeroPrepStrategy::VerifyAndCorrect,
+                       ZeroPrepStrategy::VerifyOnly}) {
+        PrepEstimate results[3];
+        const int thread_counts[3] = {1, 2, 4};
+        for (int i = 0; i < 3; ++i) {
+            BatchSimConfig config;
+            config.threads = thread_counts[i];
+            BatchAncillaSim sim(ErrorParams::paper(),
+                                MovementModel{}, 99,
+                                CorrectionSemantics::
+                                    DiscardOnSyndrome,
+                                config);
+            results[i] = sim.estimate(strat, trials);
+        }
+        EXPECT_TRUE(sameEstimate(results[0], results[1]))
+            << zeroPrepStrategyName(strat) << " 1 vs 2 threads";
+        EXPECT_TRUE(sameEstimate(results[0], results[2]))
+            << zeroPrepStrategyName(strat) << " 1 vs 4 threads";
+    }
+}
+
+TEST(BatchAncillaSim, ReproducibleAcrossInstancesAndFreshPerCall)
+{
+    BatchAncillaSim a(ErrorParams::paper(), MovementModel{}, 5);
+    BatchAncillaSim b(ErrorParams::paper(), MovementModel{}, 5);
+    const PrepEstimate ea =
+        a.estimate(ZeroPrepStrategy::Basic, 100000);
+    const PrepEstimate eb =
+        b.estimate(ZeroPrepStrategy::Basic, 100000);
+    EXPECT_TRUE(sameEstimate(ea, eb));
+
+    // A second call on the same instance draws a fresh run seed:
+    // same statistics, different trials.
+    const PrepEstimate ea2 =
+        a.estimate(ZeroPrepStrategy::Basic, 100000);
+    EXPECT_TRUE(overlap(ea.errorInterval(), ea2.errorInterval()));
+}
+
+TEST(BatchAncillaSim, Pi8BitReproducibleAcrossThreadCounts)
+{
+    PrepEstimate results[2];
+    const int thread_counts[2] = {1, 3};
+    for (int i = 0; i < 2; ++i) {
+        BatchSimConfig config;
+        config.threads = thread_counts[i];
+        BatchAncillaSim sim(
+            ErrorParams::paper(), MovementModel{}, 17,
+            CorrectionSemantics::DiscardOnSyndrome, config);
+        results[i] = sim.estimatePi8(200000);
+    }
+    EXPECT_TRUE(sameEstimate(results[0], results[1]));
+}
+
+} // namespace
+} // namespace qc
