@@ -14,9 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "api/Qc.hh"
 #include "common/Table.hh"
 #include "factory/ZeroFactory.hh"
-#include "kernels/Kernels.hh"
 #include "layout/Builders.hh"
 
 namespace qc::bench {
@@ -41,18 +41,24 @@ calibratedZeroFactory()
     return factory;
 }
 
-/** Build the paper's three 32-bit benchmarks with shared options. */
-inline std::vector<Benchmark>
+/**
+ * Build the paper's three 32-bit benchmarks through the workload
+ * registry, with the shared paper-parity synthesis options
+ * (ExperimentConfig::paper).
+ */
+inline std::vector<Workload>
 paperBenchmarks()
 {
-    // Literal {H, T} rotation words, as in Fowler's search and the
-    // paper's QFT derivation (Section 2.5).
-    static FowlerSynth synth(FowlerSynth::Options{
-        /*maxSyllables=*/6, /*maxError=*/1e-3, /*pureHT=*/true,
-        /*tCostWeight=*/3});
-    BenchmarkOptions opts;
-    opts.bits = 32;
-    return makeAllBenchmarks(synth, opts);
+    static FowlerSynth synth(
+        ExperimentConfig::paper("qrca").synth);
+    std::vector<Workload> out;
+    WorkloadParams params;
+    params.bits = 32;
+    for (const char *name : {"qrca", "qcla", "qft"}) {
+        out.push_back(WorkloadRegistry::instance().build(
+            name, synth, params));
+    }
+    return out;
 }
 
 /** Parse an integer CLI argument of the form name=value. */
@@ -66,6 +72,20 @@ argValue(int argc, char **argv, const std::string &name,
         if (arg.rfind(prefix, 0) == 0)
             return std::strtoull(arg.c_str() + prefix.size(),
                                  nullptr, 10);
+    }
+    return fallback;
+}
+
+/** Parse a string CLI argument of the form name=value. */
+inline std::string
+argString(int argc, char **argv, const std::string &name,
+          const std::string &fallback)
+{
+    const std::string prefix = name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
     }
     return fallback;
 }

@@ -26,7 +26,7 @@ main()
 
     const EncodedOpModel model(IonTrapParams::paper());
 
-    for (const Benchmark &b : bench::paperBenchmarks()) {
+    for (const Workload &b : bench::paperBenchmarks()) {
         const DataflowGraph graph(b.lowered.circuit);
         const BandwidthSummary bw =
             bandwidthAtSpeedOfData(graph, model);

@@ -4,7 +4,8 @@
  * area for the five microarchitectures — QLA and CQLA (the k = 1
  * points of their generalized forms), GQLA and GCQLA (k parallel
  * generators per site), and Fully-Multiplexed ancilla distribution
- * (Qalypso's organization).
+ * (Qalypso's organization) — all driven through the qc::Experiment
+ * facade and the ArchModel registry.
  *
  * Expected shapes (paper Section 5.2): Fully-Multiplexed reaches
  * near-optimal execution at far smaller area; GQLA needs orders of
@@ -16,9 +17,6 @@
 #include <iostream>
 
 #include "BenchCommon.hh"
-#include "arch/Microarch.hh"
-#include "arch/SpeedOfData.hh"
-#include "circuit/Dataflow.hh"
 #include "common/Table.hh"
 
 int
@@ -26,58 +24,58 @@ main()
 {
     using namespace qc;
 
-    const EncodedOpModel model(IonTrapParams::paper());
+    for (const Workload &b : bench::paperBenchmarks()) {
+        ExperimentConfig base = ExperimentConfig::paper(b.key);
+        base.schedule = ScheduleMode::Arch;
+        Experiment experiment(base, b);
 
-    for (const Benchmark &b : bench::paperBenchmarks()) {
-        const DataflowGraph graph(b.lowered.circuit);
-        const BandwidthSummary bw =
-            bandwidthAtSpeedOfData(graph, model);
-        const Area data_area = 7.0 * b.lowered.circuit.numQubits();
+        const Result ideal = [&] {
+            ExperimentConfig c = base;
+            c.schedule = ScheduleMode::SpeedOfData;
+            return experiment.run(c);
+        }();
+        const Area data_area = 7.0 * ideal.qubits;
 
         bench::section("Figure 15: " + b.name + " (data qubit area "
                        + fmtFixed(data_area, 0) + " macroblocks; "
                        + "speed-of-data "
-                       + fmtFixed(toMs(bw.runtime), 2) + " ms)");
+                       + fmtFixed(toMs(ideal.makespan), 2) + " ms)");
 
         TextTable t;
         t.header({"Microarch", "k / budget", "Factory Area",
                   "Exec (ms)", "x optimal", "miss rate"});
 
-        auto runOne = [&](MicroarchKind kind, int k, Area budget,
-                          const std::string &label) {
-            MicroarchConfig config;
-            config.kind = kind;
-            config.generatorsPerSite = k;
-            config.areaBudget = budget;
-            config.cacheSlots = 24;
-            const ArchRunResult r =
-                runMicroarch(graph, model, config);
-            t.row({microarchName(kind), label,
-                   fmtFixed(r.ancillaArea, 0),
+        auto runOne = [&](const std::string &arch, int k,
+                          Area budget, const std::string &label) {
+            ExperimentConfig c = base;
+            c.arch = arch;
+            c.generatorsPerSite = k;
+            c.areaBudget = budget;
+            c.cacheSlots = 24;
+            const Result r = experiment.run(c);
+            t.row({r.arch, label,
+                   fmtFixed(r.archRun.ancillaArea, 0),
                    fmtFixed(toMs(r.makespan), 2),
-                   fmtFixed(static_cast<double>(r.makespan)
-                                / static_cast<double>(bw.runtime),
-                            2),
-                   r.cacheAccesses ? fmtPct(r.missRate()) : "-"});
+                   fmtFixed(r.slowdown(), 2),
+                   r.archRun.cacheAccesses
+                       ? fmtPct(r.archRun.missRate())
+                       : "-"});
         };
 
         // QLA / GQLA sweep over generators per data qubit.
-        runOne(MicroarchKind::Qla, 1, 0, "k=1");
+        runOne("qla", 1, 0, "k=1");
         for (int k : {2, 4, 8, 16, 32})
-            runOne(MicroarchKind::Gqla, k,
-                   0, "k=" + std::to_string(k));
+            runOne("gqla", k, 0, "k=" + std::to_string(k));
 
         // CQLA / GCQLA sweep over generators per cache slot.
-        runOne(MicroarchKind::Cqla, 1, 0, "k=1");
+        runOne("cqla", 1, 0, "k=1");
         for (int k : {2, 4, 8, 16, 32})
-            runOne(MicroarchKind::Gcqla, k, 0,
-                   "k=" + std::to_string(k));
+            runOne("gcqla", k, 0, "k=" + std::to_string(k));
 
         // Fully multiplexed sweep over factory-area budget.
         for (Area budget : {250.0, 500.0, 1000.0, 2000.0, 4000.0,
                             8000.0, 16000.0, 64000.0}) {
-            runOne(MicroarchKind::FullyMultiplexed, 1, budget,
-                   fmtFixed(budget, 0) + " MB");
+            runOne("fma", 1, budget, fmtFixed(budget, 0) + " MB");
         }
         t.print(std::cout);
     }

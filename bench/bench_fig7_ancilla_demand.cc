@@ -32,7 +32,7 @@ main(int argc, char **argv)
     // hard-coded Section 2.3 constant.
     const ZeroFactory factory = bench::calibratedZeroFactory();
 
-    for (const Benchmark &b : bench::paperBenchmarks()) {
+    for (const Workload &b : bench::paperBenchmarks()) {
         const DataflowGraph graph(b.lowered.circuit);
         const BandwidthSummary bw =
             bandwidthAtSpeedOfData(graph, model);

@@ -34,7 +34,7 @@ main()
     const double fractions[] = {0.125, 0.25, 0.5, 0.75, 1.0,
                                 1.5,   2.0,  3.0, 5.0,  10.0};
 
-    for (const Benchmark &b : bench::paperBenchmarks()) {
+    for (const Workload &b : bench::paperBenchmarks()) {
         const DataflowGraph graph(b.lowered.circuit);
         const BandwidthSummary bw =
             bandwidthAtSpeedOfData(graph, model);

@@ -37,20 +37,7 @@ trialsPerSec(std::uint64_t trials, F &&body)
     return secs > 0 ? static_cast<double>(trials) / secs : 0.0;
 }
 
-std::string
-argString(int argc, char **argv, const std::string &name,
-          const std::string &fallback)
-{
-    const std::string prefix = name + "=";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind(prefix, 0) == 0)
-            return arg.substr(prefix.size());
-    }
-    return fallback;
-}
-
-struct Workload
+struct McWorkload
 {
     const char *key;
     ZeroPrepStrategy strategy;
@@ -67,9 +54,10 @@ main(int argc, char **argv)
     const std::uint64_t seed =
         bench::argValue(argc, argv, "seed", 20080623);
     const std::string out =
-        argString(argc, argv, "out", "BENCH_mc_engine.json");
+        bench::argString(argc, argv, "out",
+                          "BENCH_mc_engine.json");
 
-    const Workload workloads[] = {
+    const McWorkload workloads[] = {
         {"basic_prep", ZeroPrepStrategy::Basic, false},
         {"verify_and_correct", ZeroPrepStrategy::VerifyAndCorrect,
          false},
@@ -88,7 +76,7 @@ main(int argc, char **argv)
          << "  \"workloads\": {\n";
 
     bool first = true;
-    for (const Workload &w : workloads) {
+    for (const McWorkload &w : workloads) {
         const std::uint64_t scalar_trials = trials / 16;
         AncillaPrepSimulator scalar(ErrorParams::paper(),
                                     MovementModel{}, seed);

@@ -29,7 +29,7 @@ main()
     TextTable t;
     t.header({"Circuit", "Data Op (us)", "%", "QEC Interact (us)",
               "%", "Ancilla Prep (us)", "%"});
-    for (const Benchmark &b : bench::paperBenchmarks()) {
+    for (const Workload &b : bench::paperBenchmarks()) {
         const DataflowGraph graph(b.lowered.circuit);
         const LatencySplit split = latencySplit(graph, model);
         t.row({b.name, fmtFixed(toUs(split.dataOp), 0),

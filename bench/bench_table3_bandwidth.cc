@@ -27,7 +27,7 @@ main()
     t.header({"Circuit", "Runtime (ms)", "Zero BW (QEC)",
               "pi/8 BW", "Zeros total", "pi/8 total",
               "non-transversal %"});
-    for (const Benchmark &b : bench::paperBenchmarks()) {
+    for (const Workload &b : bench::paperBenchmarks()) {
         const DataflowGraph graph(b.lowered.circuit);
         const BandwidthSummary bw =
             bandwidthAtSpeedOfData(graph, model);

@@ -33,7 +33,7 @@ main()
     TextTable t;
     t.header({"Circuit", "Zero BW", "Data Area", "%",
               "QEC Factories", "%", "pi/8 Factories", "%"});
-    for (const Benchmark &b : bench::paperBenchmarks()) {
+    for (const Workload &b : bench::paperBenchmarks()) {
         const DataflowGraph graph(b.lowered.circuit);
         const BandwidthSummary bw =
             bandwidthAtSpeedOfData(graph, model);

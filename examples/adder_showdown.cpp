@@ -1,6 +1,7 @@
 /**
  * @file
- * Adder showdown: the paper's Section 5 story on one page.
+ * Adder showdown: the paper's Section 5 story on one page, driven
+ * entirely through the qc::Experiment facade.
  *
  * Runs the 32-bit ripple-carry and carry-lookahead adders under
  * three microarchitectures — QLA (dedicated per-qubit generators),
@@ -15,11 +16,8 @@
 #include <iostream>
 #include <string>
 
-#include "arch/Microarch.hh"
-#include "arch/SpeedOfData.hh"
-#include "circuit/Dataflow.hh"
+#include "api/Qc.hh"
 #include "common/Table.hh"
-#include "kernels/Kernels.hh"
 
 int
 main(int argc, char **argv)
@@ -33,62 +31,58 @@ main(int argc, char **argv)
             bits = std::atoi(arg.c_str() + 5);
     }
 
-    FowlerSynth synth;
-    BenchmarkOptions options;
-    options.bits = bits;
-    const EncodedOpModel model(IonTrapParams::paper());
+    for (const char *workload : {"qrca", "qcla"}) {
+        ExperimentConfig base = ExperimentConfig::paper(workload);
+        base.params.bits = bits;
+        base.schedule = ScheduleMode::Arch;
+        base.cacheSlots = 24;
+        Experiment experiment(base);
 
-    for (auto kind : {BenchmarkKind::Qrca, BenchmarkKind::Qcla}) {
-        const Benchmark bench = makeBenchmark(kind, synth, options);
-        const DataflowGraph graph(bench.lowered.circuit);
-        const BandwidthSummary bw =
-            bandwidthAtSpeedOfData(graph, model);
+        ExperimentConfig ideal = base;
+        ideal.schedule = ScheduleMode::SpeedOfData;
+        const Result sod = experiment.run(ideal);
 
-        std::cout << "\n== " << bench.name << " (speed of data "
-                  << fmtFixed(toMs(bw.runtime), 2) << " ms, needs "
-                  << fmtFixed(bw.zeroPerMs(), 1)
+        std::cout << "\n== " << sod.workload << " (speed of data "
+                  << fmtFixed(toMs(sod.makespan), 2) << " ms, needs "
+                  << fmtFixed(sod.bandwidth.zeroPerMs(), 1)
                   << " zeros/ms) ==\n";
 
         // Reference: CQLA with 24 cache slots and one generator per
         // slot sets the matched area.
-        MicroarchConfig cqla;
-        cqla.kind = MicroarchKind::Cqla;
-        cqla.cacheSlots = 24;
-        const ArchRunResult cqla_run =
-            runMicroarch(graph, model, cqla);
+        ExperimentConfig cqla = base;
+        cqla.arch = "cqla";
+        const Result cqla_run = experiment.run(cqla);
 
-        MicroarchConfig qla;
-        qla.kind = MicroarchKind::Qla;
-        const ArchRunResult qla_run = runMicroarch(graph, model, qla);
+        ExperimentConfig qla = base;
+        qla.arch = "qla";
+        const Result qla_run = experiment.run(qla);
 
-        MicroarchConfig fma;
-        fma.kind = MicroarchKind::FullyMultiplexed;
-        fma.areaBudget = cqla_run.ancillaArea;
-        const ArchRunResult fma_run = runMicroarch(graph, model, fma);
+        ExperimentConfig fma = base;
+        fma.arch = "fma";
+        fma.areaBudget = cqla_run.archRun.ancillaArea;
+        const Result fma_run = experiment.run(fma);
 
         TextTable t;
         t.header({"Microarch", "Gen Area (MB)", "Exec (ms)",
                   "x speed-of-data", "vs Qalypso"});
-        auto row = [&](const char *name, const ArchRunResult &r) {
-            t.row({name, fmtFixed(r.ancillaArea, 0),
+        auto row = [&](const Result &r) {
+            t.row({r.arch, fmtFixed(r.archRun.ancillaArea, 0),
                    fmtFixed(toMs(r.makespan), 2),
-                   fmtFixed(static_cast<double>(r.makespan)
-                                / static_cast<double>(bw.runtime),
-                            2),
+                   fmtFixed(r.slowdown(), 2),
                    fmtFixed(static_cast<double>(r.makespan)
                                 / static_cast<double>(
                                     fma_run.makespan),
                             1)
                        + "x"});
         };
-        row("QLA", qla_run);
-        row("CQLA", cqla_run);
-        row("Qalypso (FMA)", fma_run);
+        row(qla_run);
+        row(cqla_run);
+        row(fma_run);
         t.print(std::cout);
 
         std::cout << "CQLA miss rate "
-                  << fmtPct(cqla_run.missRate()) << ", "
-                  << qla_run.teleports
+                  << fmtPct(cqla_run.archRun.missRate()) << ", "
+                  << qla_run.archRun.teleports
                   << " teleports under QLA.\n";
     }
 

@@ -1,14 +1,16 @@
 /**
  * @file
- * QFT precision study: the Section 2.5 trade-off made concrete.
+ * QFT precision study: the Section 2.5 trade-off made concrete,
+ * swept through the qc::Experiment facade.
  *
  * Small controlled rotations in the QFT must be either elided
  * (approximate QFT) or expanded into fault-tolerant {H, T} words of
  * bounded precision. Both choices trade circuit fidelity against
  * pi/8-ancilla bandwidth and runtime. This example sweeps the
- * rotation cutoff and the word-search depth for a mid-sized QFT and
- * reports gate counts, the accumulated approximation budget, and
- * the resulting speed-of-data bandwidth demands.
+ * rotation cutoff and the word-search depth for a mid-sized QFT —
+ * each sweep point is one ExperimentConfig — and reports gate
+ * counts, the accumulated approximation budget, and the resulting
+ * speed-of-data bandwidth demands.
  *
  * Usage: qft_precision_study [bits=16]
  */
@@ -17,10 +19,8 @@
 #include <iostream>
 #include <string>
 
-#include "arch/SpeedOfData.hh"
-#include "circuit/Dataflow.hh"
+#include "api/Qc.hh"
 #include "common/Table.hh"
-#include "kernels/Kernels.hh"
 
 int
 main(int argc, char **argv)
@@ -34,8 +34,6 @@ main(int argc, char **argv)
             bits = std::atoi(arg.c_str() + 5);
     }
 
-    const EncodedOpModel model(IonTrapParams::paper());
-
     std::cout << "== " << bits
               << "-bit QFT: rotation cutoff sweep (word depth 6) ==\n";
     TextTable t;
@@ -43,27 +41,22 @@ main(int argc, char **argv)
               "elided angle (rad)", "word err sum", "runtime (ms)",
               "zero BW", "pi/8 BW"});
     for (int cutoff : {2, 4, 6, 8, 10}) {
-        FowlerSynth synth(FowlerSynth::Options{6, 1e-3, true, 3});
-        BenchmarkOptions options;
-        options.bits = bits;
-        options.lowering.maxRotK = cutoff;
-        const Benchmark bench =
-            makeBenchmark(BenchmarkKind::Qft, synth, options);
-        const DataflowGraph graph(bench.lowered.circuit);
-        const BandwidthSummary bw =
-            bandwidthAtSpeedOfData(graph, model);
-        const GateCensus census = bench.lowered.circuit.census();
-        const LoweringStats &stats = bench.lowered.stats;
+        ExperimentConfig config = ExperimentConfig::paper("qft");
+        config.params.bits = bits;
+        config.params.lowering.maxRotK = cutoff;
+        Experiment experiment(config);
+        const Result r = experiment.run();
+        const LoweringStats &stats =
+            experiment.workload().lowered.stats;
         t.row({fmtInt(cutoff),
-               fmtInt(static_cast<long long>(census.total)),
-               fmtInt(static_cast<long long>(
-                   census.nonTransversal1q())),
+               fmtInt(static_cast<long long>(r.gates)),
+               fmtInt(static_cast<long long>(r.pi8Gates)),
                fmtInt(static_cast<long long>(stats.elided)),
                fmtFixed(stats.elidedAngleSum, 4),
                fmtFixed(stats.approxErrorSum, 3),
-               fmtFixed(toMs(bw.runtime), 2),
-               fmtFixed(bw.zeroPerMs(), 1),
-               fmtFixed(bw.pi8PerMs(), 1)});
+               fmtFixed(toMs(r.makespan), 2),
+               fmtFixed(r.bandwidth.zeroPerMs(), 1),
+               fmtFixed(r.bandwidth.pi8PerMs(), 1)});
     }
     t.print(std::cout);
 
@@ -72,23 +65,19 @@ main(int argc, char **argv)
     d.header({"syllables", "gates", "T gates", "word err sum",
               "zero BW", "pi/8 BW"});
     for (int depth : {3, 4, 5, 6}) {
-        FowlerSynth synth(
-            FowlerSynth::Options{depth, 1e-3, true, 3});
-        BenchmarkOptions options;
-        options.bits = bits;
-        const Benchmark bench =
-            makeBenchmark(BenchmarkKind::Qft, synth, options);
-        const DataflowGraph graph(bench.lowered.circuit);
-        const BandwidthSummary bw =
-            bandwidthAtSpeedOfData(graph, model);
-        const GateCensus census = bench.lowered.circuit.census();
+        ExperimentConfig config = ExperimentConfig::paper("qft");
+        config.params.bits = bits;
+        config.synth.maxSyllables = depth;
+        Experiment experiment(config);
+        const Result r = experiment.run();
         d.row({fmtInt(depth),
-               fmtInt(static_cast<long long>(census.total)),
-               fmtInt(static_cast<long long>(
-                   census.nonTransversal1q())),
-               fmtFixed(bench.lowered.stats.approxErrorSum, 3),
-               fmtFixed(bw.zeroPerMs(), 1),
-               fmtFixed(bw.pi8PerMs(), 1)});
+               fmtInt(static_cast<long long>(r.gates)),
+               fmtInt(static_cast<long long>(r.pi8Gates)),
+               fmtFixed(
+                   experiment.workload().lowered.stats.approxErrorSum,
+                   3),
+               fmtFixed(r.bandwidth.zeroPerMs(), 1),
+               fmtFixed(r.bandwidth.pi8PerMs(), 1)});
     }
     d.print(std::cout);
 

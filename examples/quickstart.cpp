@@ -1,27 +1,24 @@
 /**
  * @file
- * Quickstart: the core qalypso workflow in ~60 lines.
+ * Quickstart: the core qalypso workflow through the qc::Experiment
+ * facade.
  *
- * 1. Generate a benchmark kernel (a 32-bit ripple-carry adder).
- * 2. Lower it to the fault-tolerant [[7,1,3]] gate set.
- * 3. Ask how fast it can run at the "speed of data" and what
- *    encoded-ancilla bandwidth that requires (paper Section 3).
- * 4. Size pipelined ancilla factories to that bandwidth
- *    (Section 4) and report the resulting chip-area split
- *    (Section 5.1).
+ * One ExperimentConfig names a workload from the registry, the
+ * schedule mode, and the technology point; one runExperiment() call
+ * generates the kernel, lowers it to the fault-tolerant [[7,1,3]]
+ * gate set, runs the speed-of-data analysis (paper Section 3),
+ * sizes pipelined ancilla factories to the demanded bandwidth
+ * (Section 4), and returns a structured qc::Result — which also
+ * serializes to JSON for scripting.
  *
  * Build and run:
- *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   cmake -B build -S . -DQC_EXAMPLES=ON && cmake --build build -j
+ *   ./build/quickstart
  */
 
 #include <iostream>
 
-#include "arch/SpeedOfData.hh"
-#include "circuit/Dataflow.hh"
-#include "codes/EncodedOp.hh"
-#include "factory/Allocation.hh"
-#include "kernels/Kernels.hh"
+#include "api/Qc.hh"
 #include "layout/Builders.hh"
 
 int
@@ -29,44 +26,57 @@ main()
 {
     using namespace qc;
 
-    // 1. Generate and 2. lower the kernel.
-    FowlerSynth synth; // rotation-word cache (QRCA needs none)
-    BenchmarkOptions options;
-    options.bits = 32;
-    const Benchmark bench =
-        makeBenchmark(BenchmarkKind::Qrca, synth, options);
+    // The registry knows every workload by name.
+    std::cout << "registered workloads:";
+    for (const std::string &name :
+         WorkloadRegistry::instance().names())
+        std::cout << " " << name;
+    std::cout << "\nregistered architectures:";
+    for (const std::string &key : ArchRegistry::instance().keys())
+        std::cout << " " << key;
+    std::cout << "\n\n";
 
-    const GateCensus census = bench.lowered.circuit.census();
-    std::cout << bench.name << ": "
-              << bench.lowered.circuit.numQubits()
-              << " logical qubits, " << census.total
-              << " fault-tolerant gates (" << census.nonTransversal1q()
-              << " pi/8 gates from "
-              << bench.lowered.stats.toffolis << " Toffolis)\n";
+    // One config describes the whole experiment: a 32-bit
+    // ripple-carry adder at the paper's technology point, scheduled
+    // at the speed of data.
+    ExperimentConfig config = ExperimentConfig::paper("qrca");
+    const Result result = runExperiment(config);
 
-    // 3. Speed-of-data analysis.
-    const EncodedOpModel model(IonTrapParams::paper());
-    const DataflowGraph graph(bench.lowered.circuit);
-    const BandwidthSummary bw = bandwidthAtSpeedOfData(graph, model);
-    std::cout << "speed-of-data runtime: " << toMs(bw.runtime)
-              << " ms\n"
-              << "required bandwidth: " << bw.zeroPerMs()
-              << " encoded zeros/ms + " << bw.pi8PerMs()
-              << " encoded pi/8/ms\n";
+    std::cout << result.workload << ": " << result.qubits
+              << " logical qubits, " << result.gates
+              << " fault-tolerant gates (" << result.pi8Gates
+              << " pi/8 gates)\n";
+    std::cout << "speed-of-data runtime: "
+              << toMs(result.bandwidth.runtime) << " ms\n"
+              << "required bandwidth: "
+              << result.bandwidth.zeroPerMs()
+              << " encoded zeros/ms + " << result.bandwidth.pi8PerMs()
+              << " encoded pi/8/ms\n"
+              << "logical throughput: " << result.klops()
+              << " KLOPS\n";
 
-    // 4. Factory sizing and area split.
-    const ZeroFactory zero;   // 298 macroblocks, 10.5 ancillae/ms
-    const Pi8Factory pi8;     // 403 macroblocks, 18.3 ancillae/ms
-    const FactoryAllocation alloc = allocateForBandwidth(
-        zero, pi8, bw.zeroPerMs(), bw.pi8PerMs());
-    const Area data = dataQubitArea()
-        * bench.lowered.circuit.numQubits();
-
+    // Factory sizing and area split come with the result.
+    const Area data = dataQubitArea() * result.qubits;
+    const Area factories = result.allocation.totalArea();
     std::cout << "chip area: data " << data << " MB, QEC factories "
-              << alloc.qecArea() << " MB, pi/8 chain "
-              << alloc.pi8Area() << " MB  ("
-              << 100.0 * (alloc.totalArea())
-                     / (data + alloc.totalArea())
-              << "% of the chip is ancilla generation)\n";
+              << result.allocation.qecArea() << " MB, pi/8 chain "
+              << result.allocation.pi8Area() << " MB  ("
+              << 100.0 * factories / (data + factories)
+              << "% of the chip is ancilla generation)\n\n";
+
+    // The same experiment as a microarchitecture simulation on
+    // Qalypso's fully-multiplexed organization: flip two fields.
+    config.schedule = ScheduleMode::Arch;
+    config.arch = "fma";
+    const Result onChip = runExperiment(config);
+    std::cout << "on " << onChip.arch << " ("
+              << onChip.archRun.ancillaArea
+              << " MB of factories): " << toMs(onChip.makespan)
+              << " ms, " << onChip.slowdown()
+              << "x the speed-of-data ideal\n\n";
+
+    // Every result serializes for the BENCH_* trajectory files.
+    std::cout << "result JSON:\n"
+              << onChip.toJson().dump() << "\n";
     return 0;
 }

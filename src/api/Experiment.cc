@@ -1,0 +1,479 @@
+#include "api/Experiment.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qc {
+
+namespace {
+
+/** Integral factory counts actually built (Table 9's ceilings). */
+double
+provisionedUnits(double fractional)
+{
+    return fractional > 0 ? std::ceil(fractional) : 0.0;
+}
+
+Json
+ionTrapToJson(const IonTrapParams &tech)
+{
+    Json j = Json::object();
+    j.set("t1q_ns", tech.t1q);
+    j.set("t2q_ns", tech.t2q);
+    j.set("tmeas_ns", tech.tmeas);
+    j.set("tprep_ns", tech.tprep);
+    j.set("tmove_ns", tech.tmove);
+    j.set("tturn_ns", tech.tturn);
+    return j;
+}
+
+IonTrapParams
+ionTrapFromJson(const Json &j)
+{
+    IonTrapParams tech;
+    tech.t1q = j.getInt("t1q_ns", tech.t1q);
+    tech.t2q = j.getInt("t2q_ns", tech.t2q);
+    tech.tmeas = j.getInt("tmeas_ns", tech.tmeas);
+    tech.tprep = j.getInt("tprep_ns", tech.tprep);
+    tech.tmove = j.getInt("tmove_ns", tech.tmove);
+    tech.tturn = j.getInt("tturn_ns", tech.tturn);
+    return tech;
+}
+
+} // namespace
+
+std::string
+scheduleModeName(ScheduleMode mode)
+{
+    switch (mode) {
+      case ScheduleMode::SpeedOfData: return "speed-of-data";
+      case ScheduleMode::Throttled:   return "throttled";
+      case ScheduleMode::Arch:        return "arch";
+    }
+    return "?";
+}
+
+ScheduleMode
+scheduleModeFromName(const std::string &name)
+{
+    if (name == "speed-of-data")
+        return ScheduleMode::SpeedOfData;
+    if (name == "throttled")
+        return ScheduleMode::Throttled;
+    if (name == "arch")
+        return ScheduleMode::Arch;
+    throw std::invalid_argument(
+        "unknown schedule mode \"" + name
+        + "\"; expected speed-of-data, throttled, or arch");
+}
+
+MicroarchConfig
+ExperimentConfig::microarchConfig() const
+{
+    MicroarchConfig out;
+    out.tech = tech;
+    out.generatorsPerSite = generatorsPerSite;
+    out.cacheSlots = cacheSlots;
+    out.areaBudget = areaBudget;
+    out.teleport = teleport;
+    return out;
+}
+
+ExperimentConfig
+ExperimentConfig::paper(const std::string &workload)
+{
+    ExperimentConfig config;
+    config.workload = workload;
+    config.params.bits = 32;
+    // Literal {H, T} rotation words, as in Fowler's search and the
+    // paper's QFT derivation (Section 2.5).
+    config.synth = FowlerSynth::Options{
+        /*maxSyllables=*/6, /*maxError=*/1e-3, /*pureHT=*/true,
+        /*tCostWeight=*/3};
+    return config;
+}
+
+Json
+ExperimentConfig::toJson() const
+{
+    Json j = Json::object();
+    j.set("workload", workload);
+    j.set("bits", params.bits);
+
+    Json lowering = Json::object();
+    lowering.set("maxRotK", params.lowering.maxRotK);
+    j.set("lowering", lowering);
+
+    Json qft = Json::object();
+    qft.set("maxK", params.qft.maxK);
+    qft.set("withSwaps", params.qft.withSwaps);
+    j.set("qft", qft);
+
+    Json synthJson = Json::object();
+    synthJson.set("maxSyllables", synth.maxSyllables);
+    synthJson.set("maxError", synth.maxError);
+    synthJson.set("pureHT", synth.pureHT);
+    synthJson.set("tCostWeight", synth.tCostWeight);
+    j.set("synth", synthJson);
+
+    j.set("codeLevel", codeLevel);
+    j.set("tech", ionTrapToJson(tech));
+
+    Json errorsJson = Json::object();
+    errorsJson.set("pGate", errors.pGate);
+    errorsJson.set("pMove", errors.pMove);
+    j.set("errors", errorsJson);
+
+    j.set("schedule", scheduleModeName(schedule));
+    j.set("arch", arch);
+    j.set("generatorsPerSite", generatorsPerSite);
+    j.set("cacheSlots", cacheSlots);
+    j.set("areaBudget", areaBudget);
+    j.set("teleport_ns", teleport);
+    j.set("zeroPerMs", zeroPerMs);
+    j.set("pi8PerMs", pi8PerMs);
+    j.set("timeLimit_ns", timeLimit);
+    j.set("demandBins", demandBins);
+    return j;
+}
+
+ExperimentConfig
+ExperimentConfig::fromJson(const Json &j)
+{
+    ExperimentConfig config;
+    config.workload = j.getString("workload", config.workload);
+    config.params.bits = static_cast<int>(
+        j.getInt("bits", config.params.bits));
+    if (j.has("lowering")) {
+        config.params.lowering.maxRotK = static_cast<int>(
+            j.at("lowering").getInt(
+                "maxRotK", config.params.lowering.maxRotK));
+    }
+    if (j.has("qft")) {
+        const Json &qft = j.at("qft");
+        config.params.qft.maxK = static_cast<int>(
+            qft.getInt("maxK", config.params.qft.maxK));
+        config.params.qft.withSwaps =
+            qft.getBool("withSwaps", config.params.qft.withSwaps);
+    }
+    if (j.has("synth")) {
+        const Json &synth = j.at("synth");
+        config.synth.maxSyllables = static_cast<int>(synth.getInt(
+            "maxSyllables", config.synth.maxSyllables));
+        config.synth.maxError =
+            synth.getDouble("maxError", config.synth.maxError);
+        config.synth.pureHT =
+            synth.getBool("pureHT", config.synth.pureHT);
+        config.synth.tCostWeight = static_cast<int>(synth.getInt(
+            "tCostWeight", config.synth.tCostWeight));
+    }
+    config.codeLevel = static_cast<int>(
+        j.getInt("codeLevel", config.codeLevel));
+    if (j.has("tech"))
+        config.tech = ionTrapFromJson(j.at("tech"));
+    if (j.has("errors")) {
+        const Json &errors = j.at("errors");
+        config.errors.pGate =
+            errors.getDouble("pGate", config.errors.pGate);
+        config.errors.pMove =
+            errors.getDouble("pMove", config.errors.pMove);
+    }
+    config.schedule = scheduleModeFromName(j.getString(
+        "schedule", scheduleModeName(config.schedule)));
+    config.arch = j.getString("arch", config.arch);
+    config.generatorsPerSite = static_cast<int>(
+        j.getInt("generatorsPerSite", config.generatorsPerSite));
+    config.cacheSlots = static_cast<int>(
+        j.getInt("cacheSlots", config.cacheSlots));
+    config.areaBudget =
+        j.getDouble("areaBudget", config.areaBudget);
+    config.teleport = j.getInt("teleport_ns", config.teleport);
+    config.zeroPerMs = j.getDouble("zeroPerMs", config.zeroPerMs);
+    config.pi8PerMs = j.getDouble("pi8PerMs", config.pi8PerMs);
+    config.timeLimit = j.getInt("timeLimit_ns", config.timeLimit);
+    config.demandBins = static_cast<int>(
+        j.getInt("demandBins", config.demandBins));
+    return config;
+}
+
+ExperimentConfig
+ExperimentConfig::load(const std::string &path)
+{
+    return fromJson(Json::loadFile(path));
+}
+
+void
+ExperimentConfig::save(const std::string &path) const
+{
+    toJson().saveFile(path);
+}
+
+double
+Result::klops() const
+{
+    if (makespan <= 0)
+        return 0;
+    const double seconds =
+        static_cast<double>(makespan) / (1e3 * nsPerMs);
+    return static_cast<double>(gatesExecuted) / seconds / 1e3;
+}
+
+double
+Result::slowdown() const
+{
+    if (bandwidth.runtime <= 0)
+        return 1.0;
+    return static_cast<double>(makespan)
+        / static_cast<double>(bandwidth.runtime);
+}
+
+Json
+Result::toJson() const
+{
+    Json j = Json::object();
+    j.set("workload", workload);
+    j.set("schedule", schedule);
+    if (!arch.empty())
+        j.set("arch", arch);
+
+    Json circuit = Json::object();
+    circuit.set("qubits", qubits);
+    circuit.set("gates", gates);
+    circuit.set("pi8_gates", pi8Gates);
+    j.set("circuit", circuit);
+
+    Json splitJson = Json::object();
+    splitJson.set("data_op_us", toUs(split.dataOp));
+    splitJson.set("qec_interact_us", toUs(split.qecInteract));
+    splitJson.set("ancilla_prep_us", toUs(split.ancillaPrep));
+    splitJson.set("data_op_share", split.dataOpShare());
+    splitJson.set("qec_interact_share", split.qecInteractShare());
+    splitJson.set("ancilla_prep_share", split.ancillaPrepShare());
+    j.set("latency_split", splitJson);
+
+    Json bw = Json::object();
+    bw.set("speed_of_data_ms", toMs(bandwidth.runtime));
+    bw.set("zeros", bandwidth.zerosConsumed);
+    bw.set("pi8s", bandwidth.pi8Consumed);
+    bw.set("zero_per_ms", bandwidth.zeroPerMs());
+    bw.set("pi8_per_ms", bandwidth.pi8PerMs());
+    j.set("bandwidth", bw);
+
+    Json profile = Json::array();
+    for (double v : demandProfile)
+        profile.push(v);
+    j.set("demand_profile", profile);
+
+    Json factories = Json::object();
+    factories.set("zero_for_qec", allocation.zeroFactoriesForQec);
+    factories.set("pi8", allocation.pi8Factories);
+    factories.set("zero_for_pi8", allocation.zeroFactoriesForPi8);
+    factories.set("qec_area", allocation.qecArea());
+    factories.set("pi8_area", allocation.pi8Area());
+    factories.set("total_area", allocation.totalArea());
+    factories.set("zero_utilization", zeroUtilization);
+    factories.set("pi8_utilization", pi8Utilization);
+    j.set("factories", factories);
+
+    Json run = Json::object();
+    run.set("makespan_ms", toMs(makespan));
+    run.set("completed", completed);
+    run.set("gates_executed", gatesExecuted);
+    run.set("zeros_consumed", zerosConsumed);
+    run.set("pi8_consumed", pi8Consumed);
+    run.set("klops", klops());
+    run.set("slowdown", slowdown());
+    j.set("run", run);
+
+    if (schedule == scheduleModeName(ScheduleMode::Arch)) {
+        Json archJson = Json::object();
+        archJson.set("ancilla_area", archRun.ancillaArea);
+        archJson.set("teleports", archRun.teleports);
+        archJson.set("cache_accesses", archRun.cacheAccesses);
+        archJson.set("cache_misses", archRun.cacheMisses);
+        archJson.set("miss_rate", archRun.missRate());
+        j.set("arch_run", archJson);
+    }
+    return j;
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config))
+{
+}
+
+Experiment::Experiment(ExperimentConfig config, Workload workload)
+    : config_(std::move(config)), workload_(std::move(workload))
+{
+}
+
+const Workload &
+Experiment::workload()
+{
+    if (!workload_) {
+        synth_.emplace(config_.synth);
+        workload_ = WorkloadRegistry::instance().build(
+            config_.workload, *synth_, config_.params);
+    }
+    return *workload_;
+}
+
+const Experiment::Analytics &
+Experiment::analytics(const ExperimentConfig &variant)
+{
+    const int bins = std::max(1, variant.demandBins);
+    const IonTrapParams &tech = variant.tech;
+    const bool fresh = !analytics_
+        || analytics_->demandBins != bins
+        || analytics_->tech.t1q != tech.t1q
+        || analytics_->tech.t2q != tech.t2q
+        || analytics_->tech.tmeas != tech.tmeas
+        || analytics_->tech.tprep != tech.tprep
+        || analytics_->tech.tmove != tech.tmove
+        || analytics_->tech.tturn != tech.tturn;
+    if (fresh) {
+        const EncodedOpModel model(tech);
+        const DataflowGraph &graph = *graph_;
+        Analytics out;
+        out.tech = tech;
+        out.demandBins = bins;
+        out.split = latencySplit(graph, model);
+        out.bandwidth = bandwidthAtSpeedOfData(graph, model);
+        out.demandProfile = ancillaDemandProfile(
+            graph, model, static_cast<std::size_t>(bins));
+        out.allocation = allocateForBandwidth(
+            ZeroFactory(tech), Pi8Factory(tech),
+            out.bandwidth.zeroPerMs(), out.bandwidth.pi8PerMs());
+        analytics_ = std::move(out);
+    }
+    return *analytics_;
+}
+
+Result
+Experiment::run()
+{
+    return run(config_);
+}
+
+Result
+Experiment::run(const ExperimentConfig &variant)
+{
+    if (variant.codeLevel != 1) {
+        throw std::invalid_argument(
+            "codeLevel " + std::to_string(variant.codeLevel)
+            + " not modeled; only the level-1 [[7,1,3]] code is");
+    }
+    if (variant.workload != config_.workload
+        || variant.params.bits != config_.params.bits
+        || variant.params.lowering.maxRotK
+            != config_.params.lowering.maxRotK
+        || variant.params.qft.maxK != config_.params.qft.maxK
+        || variant.params.qft.withSwaps
+            != config_.params.qft.withSwaps
+        || variant.synth.maxSyllables != config_.synth.maxSyllables
+        || variant.synth.maxError != config_.synth.maxError
+        || variant.synth.pureHT != config_.synth.pureHT
+        || variant.synth.tCostWeight != config_.synth.tCostWeight) {
+        throw std::invalid_argument(
+            "Experiment::run(variant): variant describes a "
+            "different workload than the cached one (\""
+            + variant.workload + "\" vs \"" + config_.workload
+            + "\"); construct a new Experiment instead");
+    }
+
+    const Workload &w = workload();
+    const EncodedOpModel model(variant.tech);
+    if (!graph_)
+        graph_.emplace(w.lowered.circuit);
+    const DataflowGraph &graph = *graph_;
+
+    Result result;
+    result.workload = w.name;
+    result.schedule = scheduleModeName(variant.schedule);
+    result.qubits = static_cast<int>(w.lowered.circuit.numQubits());
+    const GateCensus census = w.lowered.circuit.census();
+    result.gates = census.total;
+    result.pi8Gates = census.nonTransversal1q();
+
+    // The speed-of-data analytics are the common yardstick every
+    // schedule mode is reported against.
+    const Analytics &cached = analytics(variant);
+    result.split = cached.split;
+    result.bandwidth = cached.bandwidth;
+    result.demandProfile = cached.demandProfile;
+    result.allocation = cached.allocation;
+
+    const ZeroFactory zeroFactory(variant.tech);
+    const Pi8Factory pi8Factory(variant.tech);
+
+    switch (variant.schedule) {
+      case ScheduleMode::SpeedOfData:
+        result.makespan = result.bandwidth.runtime;
+        result.zerosConsumed = result.bandwidth.zerosConsumed;
+        result.pi8Consumed = result.bandwidth.pi8Consumed;
+        result.gatesExecuted = result.gates;
+        break;
+
+      case ScheduleMode::Throttled: {
+        // Default supply: what the integrally provisioned QEC
+        // factories actually deliver.
+        const BandwidthPerMs zeroRate = variant.zeroPerMs > 0
+            ? variant.zeroPerMs
+            : provisionedUnits(result.allocation.zeroFactoriesForQec)
+                * zeroFactory.throughput();
+        const ThrottledResult run =
+            throttledRun(graph, model, zeroRate, variant.pi8PerMs,
+                         variant.timeLimit);
+        result.makespan = run.makespan;
+        result.completed = run.completed;
+        result.zerosConsumed = run.zerosConsumed;
+        result.pi8Consumed = run.pi8Consumed;
+        result.gatesExecuted = run.gatesExecuted;
+        break;
+      }
+
+      case ScheduleMode::Arch: {
+        const ArchModel &archModel =
+            ArchRegistry::instance().get(variant.arch);
+        result.arch = archModel.name();
+        result.archRun = archModel.run(graph, model,
+                                       variant.microarchConfig());
+        result.makespan = result.archRun.makespan;
+        result.zerosConsumed = result.archRun.zerosConsumed;
+        result.pi8Consumed = result.archRun.pi8Consumed;
+        result.gatesExecuted = result.gates;
+        break;
+      }
+    }
+
+    // Factory utilization: achieved consumption rate against the
+    // integrally provisioned production bandwidth.
+    if (result.makespan > 0) {
+        const double ms = toMs(result.makespan);
+        const double zeroCap =
+            provisionedUnits(result.allocation.zeroFactoriesForQec)
+            * zeroFactory.throughput();
+        const double pi8Cap =
+            provisionedUnits(result.allocation.pi8Factories)
+            * pi8Factory.throughput();
+        if (zeroCap > 0) {
+            result.zeroUtilization =
+                static_cast<double>(result.zerosConsumed) / ms
+                / zeroCap;
+        }
+        if (pi8Cap > 0) {
+            result.pi8Utilization =
+                static_cast<double>(result.pi8Consumed) / ms
+                / pi8Cap;
+        }
+    }
+    return result;
+}
+
+Result
+runExperiment(const ExperimentConfig &config)
+{
+    return Experiment(config).run();
+}
+
+} // namespace qc

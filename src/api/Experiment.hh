@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The unified experiment facade: one configuration object, one
+ * runner, one structured result for the paper's whole pipeline —
+ * pick a workload, lower it, run it under a schedule/architecture
+ * model, and report latency, ancilla demand, factory utilization
+ * and throughput.
+ *
+ * Everything the benches, examples and sweep studies previously
+ * wired by hand is one call here:
+ *
+ *     qc::ExperimentConfig config;
+ *     config.workload = "qcla";
+ *     config.schedule = qc::ScheduleMode::Arch;
+ *     config.arch = "fma";
+ *     qc::Result result = qc::runExperiment(config);
+ *     std::cout << result.toJson().dump();
+ *
+ * Configs load/save as JSON, and Result serializes to JSON for the
+ * BENCH_* trajectory files. Input errors (unknown workload/arch
+ * names, malformed JSON, unsupported code level) throw
+ * std::invalid_argument.
+ */
+
+#ifndef QC_API_EXPERIMENT_HH
+#define QC_API_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/ArchModel.hh"
+#include "api/Json.hh"
+#include "api/Workload.hh"
+#include "arch/SpeedOfData.hh"
+#include "arch/ThrottledRun.hh"
+#include "factory/Allocation.hh"
+
+namespace qc {
+
+/** How the experiment schedules the lowered dataflow graph. */
+enum class ScheduleMode
+{
+    /**
+     * Figure 1b's ideal: all ancilla preparation off the critical
+     * path; the makespan is the speed-of-data runtime.
+     */
+    SpeedOfData,
+
+    /**
+     * Steady rate-limited ancilla supply (Figure 8). Rates come
+     * from zeroPerMs/pi8PerMs, or from the sized factory
+     * allocation when those are zero.
+     */
+    Throttled,
+
+    /**
+     * Full microarchitecture simulation (Figure 15) under the
+     * ArchModel named by `arch`.
+     */
+    Arch,
+};
+
+/** Round-trippable display name ("speed-of-data", ...). */
+std::string scheduleModeName(ScheduleMode mode);
+
+/** Inverse of scheduleModeName; throws on unknown names. */
+ScheduleMode scheduleModeFromName(const std::string &name);
+
+/**
+ * Everything one experiment needs, JSON-round-trippable. Defaults
+ * reproduce the paper's baseline: 32-bit workloads on the level-1
+ * [[7,1,3]] code at the Table 1/4 technology point.
+ */
+struct ExperimentConfig
+{
+    /** Workload registry name ("qrca", "qcla", "qft", ...). */
+    std::string workload = "qrca";
+
+    /** Workload construction knobs (bits, lowering, qft). */
+    WorkloadParams params{};
+
+    /** Rotation-word search knobs (Section 2.5). */
+    FowlerSynth::Options synth{};
+
+    /**
+     * Error-correction code recursion level. The models cover the
+     * paper's level-1 [[7,1,3]] Steane code only; any other value
+     * is rejected at run time so configs stay honest when higher
+     * levels land.
+     */
+    int codeLevel = 1;
+
+    /** Physical operation latencies (Tables 1 and 4). */
+    IonTrapParams tech = IonTrapParams::paper();
+
+    /** Physical error rates (Section 2.2); recorded in results. */
+    ErrorParams errors = ErrorParams::paper();
+
+    /** Schedule mode (see ScheduleMode). */
+    ScheduleMode schedule = ScheduleMode::SpeedOfData;
+
+    // --- Arch mode -------------------------------------------------
+    /** ArchRegistry key ("qla", "gqla", "cqla", "gcqla", "fma"). */
+    std::string arch = "fma";
+
+    /** (G)QLA / (G)CQLA: parallel generators per site. */
+    int generatorsPerSite = 1;
+
+    /** (G)CQLA: compute-cache capacity in logical qubits. */
+    int cacheSlots = 24;
+
+    /** FullyMultiplexed: total factory area budget (macroblocks). */
+    Area areaBudget = 3000;
+
+    /** Teleport latency override; 0 derives from tech. */
+    Time teleport = 0;
+
+    // --- Throttled mode --------------------------------------------
+    /** Encoded-zero supply rate; 0 = use the sized allocation. */
+    BandwidthPerMs zeroPerMs = 0;
+
+    /** Encoded-pi/8 supply rate; 0 = unconstrained. */
+    BandwidthPerMs pi8PerMs = 0;
+
+    /**
+     * Throttled-run budget: cut the simulation off at this time
+     * and report a partial result. 0 = run to completion.
+     */
+    Time timeLimit = 0;
+
+    // --- Reporting -------------------------------------------------
+    /** Bins in the Figure 7 ancilla-demand profile. */
+    int demandBins = 40;
+
+    /** MicroarchConfig equivalent (for the arch-mode run). */
+    MicroarchConfig microarchConfig() const;
+
+    /** Paper-parity baseline for one workload (BenchCommon's old
+     *  hand-wired synthesis options, 32 bits). */
+    static ExperimentConfig paper(const std::string &workload);
+
+    /** JSON round-trip; missing keys keep their defaults. */
+    static ExperimentConfig fromJson(const Json &json);
+    Json toJson() const;
+
+    /** File convenience wrappers. */
+    static ExperimentConfig load(const std::string &path);
+    void save(const std::string &path) const;
+};
+
+/**
+ * Structured outcome of one experiment: the Table 2/3 analytics,
+ * the Figure 7 demand profile, the Table 9 factory sizing, and the
+ * makespan under the configured schedule.
+ */
+struct Result
+{
+    std::string workload;  ///< display name
+    std::string schedule;  ///< schedule mode name
+    std::string arch;      ///< arch model name (Arch mode only)
+
+    // --- Circuit shape ---------------------------------------------
+    int qubits = 0;
+    std::uint64_t gates = 0;     ///< fault-tolerant gate count
+    std::uint64_t pi8Gates = 0;  ///< non-transversal (T/Tdg) count
+
+    // --- Speed-of-data analytics (always computed) -----------------
+    LatencySplit split;            ///< Table 2 latency split
+    BandwidthSummary bandwidth;    ///< Table 3 demand
+    std::vector<double> demandProfile; ///< Figure 7 envelope
+
+    // --- Factory provisioning (Table 9 sizing, integral units) ----
+    FactoryAllocation allocation;
+    double zeroUtilization = 0; ///< achieved / provisioned zero BW
+    double pi8Utilization = 0;  ///< achieved / provisioned pi/8 BW
+
+    // --- Scheduled outcome -----------------------------------------
+    Time makespan = 0;
+    bool completed = true;     ///< false if timeLimit cut it off
+    std::uint64_t gatesExecuted = 0; ///< retired (< gates if cut)
+    std::uint64_t zerosConsumed = 0;
+    std::uint64_t pi8Consumed = 0;
+    ArchRunResult archRun;     ///< populated in Arch mode
+
+    /**
+     * Logical throughput in KLOPS — thousands of fault-tolerant
+     * logical operations per second at the achieved makespan.
+     */
+    double klops() const;
+
+    /** Slowdown versus the speed-of-data ideal (>= 1). */
+    double slowdown() const;
+
+    Json toJson() const;
+};
+
+/**
+ * Builds the workload once (with its synthesis cache) and runs one
+ * or more schedule variants against it.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig config);
+
+    /**
+     * Adopt an already-built workload (e.g. one shared across many
+     * experiments by a bench). The config's workload fields are
+     * assumed to describe it; no rebuild happens.
+     */
+    Experiment(ExperimentConfig config, Workload workload);
+
+    /**
+     * Non-copyable/movable: the cached DataflowGraph references the
+     * cached workload's circuit in place.
+     */
+    Experiment(const Experiment &) = delete;
+    Experiment &operator=(const Experiment &) = delete;
+
+    const ExperimentConfig &config() const { return config_; }
+
+    /** The constructed workload (built lazily, cached). */
+    const Workload &workload();
+
+    /** Run with the stored configuration. */
+    Result run();
+
+    /**
+     * Run a variant configuration against the cached workload. The
+     * variant must describe the same workload (name, params and
+     * synthesis knobs are checked; throws std::invalid_argument on
+     * mismatch) — schedule/arch/factory fields may differ freely.
+     */
+    Result run(const ExperimentConfig &variant);
+
+  private:
+    /**
+     * The speed-of-data analytics depend only on the cached
+     * workload, the technology point and the bin count, so variant
+     * sweeps (e.g. the Figure 15 bench's ~20 arch points per
+     * workload) reuse them instead of re-walking the circuit.
+     */
+    struct Analytics
+    {
+        IonTrapParams tech;
+        int demandBins = 0;
+        LatencySplit split;
+        BandwidthSummary bandwidth;
+        std::vector<double> demandProfile;
+        FactoryAllocation allocation;
+    };
+
+    const Analytics &analytics(const ExperimentConfig &variant);
+
+    ExperimentConfig config_;
+    std::optional<FowlerSynth> synth_;
+    std::optional<Workload> workload_;
+    std::optional<DataflowGraph> graph_;
+    std::optional<Analytics> analytics_;
+};
+
+/** One-shot convenience: build, run, discard the workload cache. */
+Result runExperiment(const ExperimentConfig &config);
+
+} // namespace qc
+
+#endif // QC_API_EXPERIMENT_HH

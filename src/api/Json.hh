@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal JSON value type for the experiment API: enough to
+ * round-trip ExperimentConfig and serialize Result for the BENCH_*
+ * trajectory files, with no external dependency.
+ *
+ * Objects keep their keys sorted (std::map), so serialization is
+ * deterministic and diff-friendly. Numbers are stored as double;
+ * integral values within the exact double range print without a
+ * decimal point, so Time (int64 nanoseconds) fields survive a
+ * round-trip bit-exactly for any simulated time under ~104 days.
+ *
+ * Errors (syntax errors on parse, kind mismatches on access) throw
+ * std::invalid_argument: the API layer reports user-input problems
+ * as catchable exceptions rather than aborting, unlike the panic()
+ * convention of the inner simulation layers.
+ */
+
+#ifndef QC_API_JSON_HH
+#define QC_API_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(double v) : kind_(Kind::Number), number_(v) {}
+    Json(int v) : Json(static_cast<double>(v)) {}
+    Json(std::int64_t v) : Json(static_cast<double>(v)) {}
+    Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+    Json(const char *s) : kind_(Kind::String), string_(s) {}
+    Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+    /** An empty array / object (distinct from null). */
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Checked accessors; throw std::invalid_argument on mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    std::size_t size() const;
+    const Json &at(std::size_t index) const;
+    void push(Json value);
+
+    /** Object access. */
+    bool has(const std::string &key) const;
+    const Json &at(const std::string &key) const;
+    void set(const std::string &key, Json value);
+    const std::map<std::string, Json> &items() const;
+
+    /** Typed object lookups with defaults for absent keys. */
+    bool getBool(const std::string &key, bool fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** Serialize; indent > 0 pretty-prints with that step. */
+    std::string dump(int indent = 2) const;
+
+    /** Parse a complete JSON document; throws on syntax errors. */
+    static Json parse(const std::string &text);
+
+    /** File helpers (throw std::invalid_argument on I/O failure). */
+    static Json loadFile(const std::string &path);
+    void saveFile(const std::string &path, int indent = 2) const;
+
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::map<std::string, Json> object_;
+};
+
+} // namespace qc
+
+#endif // QC_API_JSON_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Single facade header for the qalypso experiment API. Downstream
+ * consumers — benches, examples, notebooks, services — include this
+ * one header and get:
+ *
+ *  - qc::WorkloadRegistry  named, parameterized benchmark circuits
+ *                          ("qrca", "qcla", "qft", "chain",
+ *                          "ladder", plus runtime registrations)
+ *  - qc::ArchRegistry      the five microarchitecture models as
+ *                          polymorphic qc::ArchModel instances
+ *                          ("qla", "gqla", "cqla", "gcqla", "fma")
+ *  - qc::ExperimentConfig  one JSON-round-trippable description of
+ *                          a run (workload, code level, error
+ *                          rates, schedule mode, factory budget)
+ *  - qc::Experiment /      build once, run schedule variants, get a
+ *    qc::runExperiment     structured qc::Result (latency split,
+ *                          demand profile, factory utilization,
+ *                          KLOPS) that serializes to JSON
+ *  - qc::Json              the minimal JSON value used throughout
+ *
+ * The paper's headline artifacts map to one-liners; see
+ * src/api/README.md for the table/figure-to-call map.
+ */
+
+#ifndef QC_API_QC_HH
+#define QC_API_QC_HH
+
+#include "api/ArchModel.hh"
+#include "api/Experiment.hh"
+#include "api/Json.hh"
+#include "api/Workload.hh"
+
+#endif // QC_API_QC_HH

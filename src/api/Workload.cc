@@ -1,0 +1,81 @@
+#include "api/Workload.hh"
+
+#include <stdexcept>
+
+namespace qc {
+
+namespace {
+
+[[noreturn]] void
+unknownName(const std::string &name,
+            const std::vector<std::string> &known)
+{
+    std::string message = "unknown workload \"" + name
+        + "\"; registered workloads:";
+    for (const std::string &k : known)
+        message += " " + k;
+    throw std::invalid_argument(message);
+}
+
+} // namespace
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry = [] {
+        WorkloadRegistry r;
+        registerKernelWorkloads(r);
+        return r;
+    }();
+    return registry;
+}
+
+void
+WorkloadRegistry::add(const std::string &name,
+                      const std::string &description,
+                      WorkloadBuilder builder)
+{
+    entries_[name] = Entry{description, std::move(builder)};
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+const WorkloadRegistry::Entry &
+WorkloadRegistry::lookup(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        unknownName(name, names());
+    return it->second;
+}
+
+const std::string &
+WorkloadRegistry::description(const std::string &name) const
+{
+    return lookup(name).description;
+}
+
+Workload
+WorkloadRegistry::build(const std::string &name, FowlerSynth &synth,
+                        const WorkloadParams &params) const
+{
+    Workload workload = lookup(name).builder(synth, params);
+    workload.key = name;
+    return workload;
+}
+
+} // namespace qc

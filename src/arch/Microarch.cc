@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "api/ArchModel.hh"
 #include "common/Logging.hh"
-#include "sim/Simulator.hh"
 #include "sim/TokenPool.hh"
 
 namespace qc {
@@ -21,6 +20,19 @@ microarchName(MicroarchKind kind)
       case MicroarchKind::Cqla:             return "CQLA";
       case MicroarchKind::Gcqla:            return "GCQLA";
       case MicroarchKind::FullyMultiplexed: return "Fully-Multiplexed";
+    }
+    return "?";
+}
+
+std::string
+microarchKey(MicroarchKind kind)
+{
+    switch (kind) {
+      case MicroarchKind::Qla:              return "qla";
+      case MicroarchKind::Gqla:             return "gqla";
+      case MicroarchKind::Cqla:             return "cqla";
+      case MicroarchKind::Gcqla:            return "gcqla";
+      case MicroarchKind::FullyMultiplexed: return "fma";
     }
     return "?";
 }
@@ -107,67 +119,247 @@ ancillaHop(const IonTrapParams &tech)
     return 3 * tech.tmove + tech.tturn;
 }
 
-} // namespace
-
-ArchRunResult
-runMicroarch(const DataflowGraph &graph, const EncodedOpModel &model,
-             const MicroarchConfig &config)
+/**
+ * Extra conversion time for a pi/8 ancilla produced from a bank
+ * zero (banks produce zeroes; the conversion pipeline of Fig 5b
+ * adds its stages on top).
+ */
+Time
+pi8Extra(const EncodedOpModel &model)
 {
-    const auto &gates = graph.circuit().gates();
-    const auto n = static_cast<NodeId>(graph.numNodes());
-    const Qubit nq = graph.circuit().numQubits();
-    const IonTrapParams &tech = config.tech;
-    const int k = std::max(1, config.generatorsPerSite);
+    return model.pi8PrepLatency() - model.zeroPrepLatency();
+}
 
-    const bool cached = config.kind == MicroarchKind::Cqla
-        || config.kind == MicroarchKind::Gcqla;
-    const bool per_qubit = config.kind == MicroarchKind::Qla
-        || config.kind == MicroarchKind::Gqla;
-    const bool fma = config.kind == MicroarchKind::FullyMultiplexed;
+// ----------------------------------------------------------------
+// (G)QLA: every logical data qubit owns k dedicated serial ancilla
+// generators; operands of two-qubit gates teleport to an
+// interaction site and back home for their QEC step.
+// ----------------------------------------------------------------
 
-    ArchRunResult result;
-    Simulator sim;
-
-    // --- Ancilla production hardware -----------------------------
-    const SimpleZeroFactory simple(tech);
-    const ZeroFactory zeroFactory(tech);
-    const Pi8Factory pi8Factory(tech);
-
-    // Per-qubit banks for (G)QLA; per-cache-slot banks for (G)CQLA.
-    // Both use on-demand production with single-ancilla buffering:
-    // a dedicated generator cannot stockpile for its site nor serve
-    // another one (Section 5.1).
-    std::vector<OnDemandBankPool> banks;
-    if (per_qubit) {
-        banks.reserve(nq);
+class QlaExecution : public ArchExecution
+{
+  public:
+    QlaExecution(const DataflowGraph &graph,
+                 const EncodedOpModel &model,
+                 const MicroarchConfig &config, int k)
+        : model_(model),
+          teleport_(config.teleportLatency()),
+          pi8Extra_(pi8Extra(model))
+    {
+        const Qubit nq = graph.circuit().numQubits();
+        const SimpleZeroFactory simple(config.tech);
+        banks_.reserve(nq);
         for (Qubit q = 0; q < nq; ++q)
-            banks.emplace_back(k, simple.latency());
+            banks_.emplace_back(k, simple.latency());
         result.ancillaArea =
             static_cast<Area>(nq) * k * simple.area();
     }
-    std::vector<OnDemandBankPool> slotBanks;
-    if (cached) {
-        slotBanks.reserve(static_cast<std::size_t>(
-            config.cacheSlots));
-        for (int s = 0; s < config.cacheSlots; ++s)
-            slotBanks.emplace_back(k, simple.latency());
+
+    Time
+    moveOverhead(const Gate &g) override
+    {
+        // One operand teleports to its partner's site for a
+        // two-qubit gate; the QEC step runs there with the site's
+        // own generators and the return trip overlaps with the next
+        // gate's transfer.
+        if (g.arity() == 2) {
+            result.teleports += 1;
+            return teleport_;
+        }
+        return 0;
+    }
+
+    Time
+    ancillaReady(const Gate &g, Time now) override
+    {
+        Time ready = now;
+        const int z = model_.zeroAncillae(g);
+        const int p = model_.pi8Ancillae(g);
+        // Claims go to the home bank of the gate's last operand
+        // (where the QEC step runs).
+        auto &bank = banks_[g.ops[static_cast<std::size_t>(
+            g.arity() - 1)]];
+        if (z > 0)
+            ready = std::max(ready, bank.claim(z, now));
+        if (p > 0)
+            ready = std::max(ready, bank.claim(p, now) + pi8Extra_);
+        return ready;
+    }
+
+  private:
+    const EncodedOpModel &model_;
+    const Time teleport_;
+    const Time pi8Extra_;
+    std::vector<OnDemandBankPool> banks_;
+};
+
+class QlaModel : public ArchModel
+{
+  public:
+    /**
+     * "QLA" and "GQLA" are one model: the original QLA proposal is
+     * the k = 1 point of its generalization, so the distinction is
+     * the display name plus the generatorsPerSite the caller asks
+     * for (exactly as the pre-registry enum behaved).
+     */
+    explicit QlaModel(std::string name) : name_(std::move(name)) {}
+
+    std::string name() const override { return name_; }
+
+    std::unique_ptr<ArchExecution>
+    prepare(const DataflowGraph &graph, const EncodedOpModel &model,
+            const MicroarchConfig &config) const override
+    {
+        const int k = std::max(1, config.generatorsPerSite);
+        return std::make_unique<QlaExecution>(graph, model, config,
+                                              k);
+    }
+
+  private:
+    std::string name_;
+};
+
+// ----------------------------------------------------------------
+// (G)CQLA: a compute cache of data qubits with k generators per
+// slot; gates execute only on cached qubits, and misses incur
+// teleport-in (plus a writeback teleport when a dirty qubit is
+// evicted). LRU replacement, as in sim-cache.
+// ----------------------------------------------------------------
+
+class CqlaExecution : public ArchExecution
+{
+  public:
+    CqlaExecution(const EncodedOpModel &model,
+                  const MicroarchConfig &config, int k)
+        : model_(model),
+          teleport_(config.teleportLatency()),
+          pi8Extra_(pi8Extra(model)),
+          tech_(config.tech),
+          cacheSlots_(config.cacheSlots),
+          cache_(static_cast<std::size_t>(
+              std::max(2, config.cacheSlots)))
+    {
+        const SimpleZeroFactory simple(config.tech);
+        slotBanks_.reserve(static_cast<std::size_t>(
+            std::max(2, config.cacheSlots)));
+        for (int s = 0; s < std::max(2, config.cacheSlots); ++s)
+            slotBanks_.emplace_back(k, simple.latency());
         result.ancillaArea =
             static_cast<Area>(config.cacheSlots) * k * simple.area();
     }
 
-    // Fully multiplexed: split the budget between the zero farm and
-    // the pi/8 chain in proportion to the circuit's demand mix.
-    std::uint64_t zero_demand = 0;
-    std::uint64_t pi8_demand = 0;
-    for (const Gate &g : gates) {
-        zero_demand +=
-            static_cast<std::uint64_t>(model.zeroAncillae(g));
-        pi8_demand +=
-            static_cast<std::uint64_t>(model.pi8Ancillae(g));
+    Time
+    moveOverhead(const Gate &g) override
+    {
+        Time penalty = 0;
+        const int arity = g.arity();
+        for (int i = 0; i < arity; ++i) {
+            ++result.cacheAccesses;
+            const LruCache::Access access =
+                cache_.access(g.ops[static_cast<std::size_t>(i)]);
+            qecSlot_ = access.slot;
+            if (!access.hit) {
+                ++result.cacheMisses;
+                ++result.teleports;
+                penalty += teleport_; // fetch
+                if (access.evicted) {
+                    ++result.teleports;
+                    penalty += teleport_; // dirty writeback
+                }
+            }
+        }
+        if (arity == 2)
+            penalty += ballistic2q(cacheSlots_, tech_);
+        return penalty;
     }
-    std::unique_ptr<RateTokenPool> fmaZeros;
-    std::unique_ptr<RateTokenPool> fmaPi8s;
-    if (fma) {
+
+    Time
+    ancillaReady(const Gate &g, Time now) override
+    {
+        // Fresh ancillae live outside the compute cache proper and
+        // are teleported in ("even with very fast encoded ancilla
+        // production, cache misses are still incurred to bring
+        // ancillae to data" — Section 5.2). This delivery sets
+        // CQLA's plateau.
+        Time ready = now;
+        const int z = model_.zeroAncillae(g);
+        const int p = model_.pi8Ancillae(g);
+        auto &bank =
+            slotBanks_[static_cast<std::size_t>(qecSlot_)];
+        if (z > 0)
+            ready = std::max(ready, bank.claim(z, now) + teleport_);
+        if (p > 0) {
+            ready = std::max(
+                ready, bank.claim(p, now) + teleport_ + pi8Extra_);
+        }
+        return ready;
+    }
+
+  private:
+    const EncodedOpModel &model_;
+    const Time teleport_;
+    const Time pi8Extra_;
+    const IonTrapParams tech_;
+    const int cacheSlots_;
+    LruCache cache_;
+    std::vector<OnDemandBankPool> slotBanks_;
+    // Slot hosting the most recent gate's QEC site (set by
+    // moveOverhead, consumed by ancillaReady).
+    int qecSlot_ = 0;
+};
+
+class CqlaModel : public ArchModel
+{
+  public:
+    /** "CQLA" is the k = 1 point of "GCQLA"; see QlaModel. */
+    explicit CqlaModel(std::string name) : name_(std::move(name)) {}
+
+    std::string name() const override { return name_; }
+
+    std::unique_ptr<ArchExecution>
+    prepare(const DataflowGraph &graph, const EncodedOpModel &model,
+            const MicroarchConfig &config) const override
+    {
+        (void)graph;
+        const int k = std::max(1, config.generatorsPerSite);
+        return std::make_unique<CqlaExecution>(model, config, k);
+    }
+
+  private:
+    std::string name_;
+};
+
+// ----------------------------------------------------------------
+// Fully-Multiplexed (Qalypso, Section 5.3): a shared farm of
+// pipelined factories feeds all data qubits; ancillae travel a
+// short ballistic hop from the factory output port to the dense
+// data-only region, and data moves ballistically inside it.
+// ----------------------------------------------------------------
+
+class FmaExecution : public ArchExecution
+{
+  public:
+    FmaExecution(const DataflowGraph &graph,
+                 const EncodedOpModel &model,
+                 const MicroarchConfig &config)
+        : model_(model),
+          tech_(config.tech),
+          nq_(static_cast<int>(graph.circuit().numQubits()))
+    {
+        const ZeroFactory zeroFactory(config.tech);
+        const Pi8Factory pi8Factory(config.tech);
+
+        // Split the budget between the zero farm and the pi/8 chain
+        // in proportion to the circuit's demand mix.
+        std::uint64_t zero_demand = 0;
+        std::uint64_t pi8_demand = 0;
+        for (const Gate &g : graph.circuit().gates()) {
+            zero_demand +=
+                static_cast<std::uint64_t>(model.zeroAncillae(g));
+            pi8_demand +=
+                static_cast<std::uint64_t>(model.pi8Ancillae(g));
+        }
+
         // Area per unit bandwidth for each product.
         const double cost_zero =
             zeroFactory.totalArea() / zeroFactory.throughput();
@@ -183,141 +375,76 @@ runMicroarch(const DataflowGraph &graph, const EncodedOpModel &model,
             static_cast<double>(zero_demand) * scale;
         const BandwidthPerMs pi8_bw =
             static_cast<double>(pi8_demand) * scale;
-        fmaZeros = std::make_unique<RateTokenPool>(
+        zeros_ = std::make_unique<RateTokenPool>(
             zero_bw, zeroFactory.latency());
-        fmaPi8s = std::make_unique<RateTokenPool>(
+        pi8s_ = std::make_unique<RateTokenPool>(
             pi8_bw, zeroFactory.latency() + pi8Factory.latency());
         result.ancillaArea = config.areaBudget;
     }
 
-    // Extra conversion time for a pi/8 ancilla produced from a bank
-    // zero (banks produce zeroes; the conversion pipeline of Fig 5b
-    // adds its stages on top).
-    const Time pi8_extra =
-        model.pi8PrepLatency() - model.zeroPrepLatency();
-
-    // --- Movement and cache state ---------------------------------
-    LruCache cache(static_cast<std::size_t>(
-        std::max(2, config.cacheSlots)));
-    const Time teleport = config.teleportLatency();
-
-    // Slot hosting the most recent gate's QEC site (set by
-    // moveOverhead, consumed by ancillaReady for the cached archs).
-    int qec_slot = 0;
-
-    auto moveOverhead = [&](const Gate &g) -> Time {
-        const int arity = g.arity();
-        if (per_qubit) {
-            // One operand teleports to its partner's site for a
-            // two-qubit gate; the QEC step runs there with the
-            // site's own generators and the return trip overlaps
-            // with the next gate's transfer.
-            if (arity == 2) {
-                result.teleports += 1;
-                return teleport;
-            }
-            return 0;
-        }
-        if (cached) {
-            Time penalty = 0;
-            for (int i = 0; i < arity; ++i) {
-                ++result.cacheAccesses;
-                const LruCache::Access access = cache.access(
-                    g.ops[static_cast<std::size_t>(i)]);
-                qec_slot = access.slot;
-                if (!access.hit) {
-                    ++result.cacheMisses;
-                    ++result.teleports;
-                    penalty += teleport; // fetch
-                    if (access.evicted) {
-                        ++result.teleports;
-                        penalty += teleport; // dirty writeback
-                    }
-                }
-            }
-            if (arity == 2)
-                penalty += ballistic2q(config.cacheSlots, tech);
-            return penalty;
-        }
-        // Fully multiplexed: dense data-only region, ballistic hops.
-        Time penalty = ancillaHop(tech);
-        if (arity == 2)
-            penalty += ballistic2q(static_cast<int>(nq), tech);
+    Time
+    moveOverhead(const Gate &g) override
+    {
+        // Dense data-only region, ballistic hops.
+        Time penalty = ancillaHop(tech_);
+        if (g.arity() == 2)
+            penalty += ballistic2q(nq_, tech_);
         return penalty;
-    };
+    }
 
-    auto ancillaReady = [&](const Gate &g) -> Time {
-        const Time now = sim.now();
+    Time
+    ancillaReady(const Gate &g, Time now) override
+    {
         Time ready = now;
-        const int z = model.zeroAncillae(g);
-        const int p = model.pi8Ancillae(g);
-        result.zerosConsumed += static_cast<std::uint64_t>(z);
-        result.pi8Consumed += static_cast<std::uint64_t>(p);
-        if (per_qubit) {
-            // Claims go to the home bank of the gate's last operand
-            // (where the QEC step runs).
-            const Qubit home = g.ops[static_cast<std::size_t>(
-                g.arity() - 1)];
-            auto &bank = banks[home];
-            if (z > 0)
-                ready = std::max(ready, bank.claim(z, now));
-            if (p > 0) {
-                ready = std::max(ready,
-                                 bank.claim(p, now) + pi8_extra);
-            }
-        } else if (cached) {
-            // Fresh ancillae live outside the compute cache proper
-            // and are teleported in ("even with very fast encoded
-            // ancilla production, cache misses are still incurred
-            // to bring ancillae to data" — Section 5.2). This
-            // delivery sets CQLA's plateau.
-            auto &bank = slotBanks[static_cast<std::size_t>(
-                qec_slot)];
-            if (z > 0) {
-                ready = std::max(ready,
-                                 bank.claim(z, now) + teleport);
-            }
-            if (p > 0) {
-                ready = std::max(
-                    ready, bank.claim(p, now) + teleport + pi8_extra);
-            }
-        } else {
-            if (z > 0)
-                ready = std::max(ready, fmaZeros->claim(z));
-            if (p > 0)
-                ready = std::max(ready, fmaPi8s->claim(p));
-        }
+        const int z = model_.zeroAncillae(g);
+        const int p = model_.pi8Ancillae(g);
+        if (z > 0)
+            ready = std::max(ready, zeros_->claim(z));
+        if (p > 0)
+            ready = std::max(ready, pi8s_->claim(p));
         return ready;
-    };
+    }
 
-    // --- Event-driven dataflow execution -------------------------
-    std::vector<int> missing(n, 0);
-    for (NodeId i = 0; i < n; ++i)
-        missing[i] = static_cast<int>(graph.preds(i).size());
+  private:
+    const EncodedOpModel &model_;
+    const IonTrapParams tech_;
+    const int nq_;
+    std::unique_ptr<RateTokenPool> zeros_;
+    std::unique_ptr<RateTokenPool> pi8s_;
+};
 
-    std::function<void(NodeId)> launch = [&](NodeId node) {
-        const Gate &g = gates[node];
-        // Movement/cache bookkeeping first: it determines the QEC
-        // site whose bank the ancilla claim goes to.
-        const Time overhead = moveOverhead(g);
-        const Time start = std::max(sim.now(), ancillaReady(g));
-        Time latency = overhead + model.dataLatency(g);
-        if (model.needsQec(g.kind))
-            latency += model.qecInteractLatency();
-        sim.schedule(start + latency, [&, node]() {
-            result.makespan = std::max(result.makespan, sim.now());
-            for (NodeId succ : graph.succs(node)) {
-                if (--missing[succ] == 0)
-                    launch(succ);
-            }
-        });
-    };
+class FmaModel : public ArchModel
+{
+  public:
+    std::string name() const override { return "Fully-Multiplexed"; }
 
-    for (NodeId root : graph.roots())
-        sim.schedule(0, [&, root]() { launch(root); });
+    std::unique_ptr<ArchExecution>
+    prepare(const DataflowGraph &graph, const EncodedOpModel &model,
+            const MicroarchConfig &config) const override
+    {
+        return std::make_unique<FmaExecution>(graph, model, config);
+    }
+};
 
-    sim.run();
-    return result;
+} // namespace
+
+void
+registerBuiltinArchModels(ArchRegistry &registry)
+{
+    registry.add("qla", std::make_shared<QlaModel>("QLA"));
+    registry.add("gqla", std::make_shared<QlaModel>("GQLA"));
+    registry.add("cqla", std::make_shared<CqlaModel>("CQLA"));
+    registry.add("gcqla", std::make_shared<CqlaModel>("GCQLA"));
+    registry.add("fma", std::make_shared<FmaModel>());
+}
+
+ArchRunResult
+runMicroarch(const DataflowGraph &graph, const EncodedOpModel &model,
+             const MicroarchConfig &config)
+{
+    return ArchRegistry::instance()
+        .get(microarchKey(config.kind))
+        .run(graph, model, config);
 }
 
 } // namespace qc

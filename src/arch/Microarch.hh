@@ -22,6 +22,13 @@
  *    pipelined factories feeds all data qubits; ancillae travel a
  *    short ballistic hop from the factory output port to the dense
  *    data-only region, and data moves ballistically inside it.
+ *
+ * The models are implemented as qc::ArchModel subclasses registered
+ * in qc::ArchRegistry (api/ArchModel.hh) under the keys "qla",
+ * "gqla", "cqla", "gcqla" and "fma"; new consumers should go
+ * through the registry or qc::Experiment. The MicroarchKind enum
+ * and runMicroarch() below are a thin compatibility layer over the
+ * registry, kept so existing wiring stays bit-identical.
  */
 
 #ifndef QC_ARCH_MICROARCH_HH
@@ -50,7 +57,15 @@ enum class MicroarchKind
 /** Display name. */
 std::string microarchName(MicroarchKind kind);
 
-/** Knobs for a single microarchitecture run. */
+/** ArchRegistry lookup key ("qla", ..., "fma") for a kind. */
+std::string microarchKey(MicroarchKind kind);
+
+/**
+ * Knobs for a single microarchitecture run. When running through
+ * the ArchRegistry the model identity comes from the registry key
+ * and `kind` is ignored; it is consumed only by the runMicroarch()
+ * compatibility wrapper.
+ */
 struct MicroarchConfig
 {
     MicroarchKind kind = MicroarchKind::FullyMultiplexed;
@@ -111,7 +126,9 @@ struct ArchRunResult
 
 /**
  * Run one benchmark dataflow under one microarchitecture
- * configuration.
+ * configuration. Compatibility wrapper: dispatches config.kind
+ * through the ArchRegistry, so results are identical to calling
+ * the registered model directly.
  */
 ArchRunResult runMicroarch(const DataflowGraph &graph,
                            const EncodedOpModel &model,

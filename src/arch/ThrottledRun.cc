@@ -10,7 +10,8 @@ namespace qc {
 
 ThrottledResult
 throttledRun(const DataflowGraph &graph, const EncodedOpModel &model,
-             BandwidthPerMs zero_per_ms, BandwidthPerMs pi8_per_ms)
+             BandwidthPerMs zero_per_ms, BandwidthPerMs pi8_per_ms,
+             Time deadline)
 {
     const auto &gates = graph.circuit().gates();
     const auto n = static_cast<NodeId>(graph.numNodes());
@@ -47,6 +48,7 @@ throttledRun(const DataflowGraph &graph, const EncodedOpModel &model,
         const Time end = start + latency;
         sim.schedule(end, [&, node]() {
             result.makespan = std::max(result.makespan, sim.now());
+            ++result.gatesExecuted;
             for (NodeId succ : graph.succs(node)) {
                 if (--missing[succ] == 0)
                     launch(succ);
@@ -59,7 +61,15 @@ throttledRun(const DataflowGraph &graph, const EncodedOpModel &model,
     for (NodeId root : graph.roots())
         sim.schedule(0, [&, root]() { launch(root); });
 
-    sim.run();
+    if (deadline > 0) {
+        sim.runUntil(deadline);
+        if (sim.pending() > 0) {
+            result.completed = false;
+            result.makespan = std::max(result.makespan, sim.now());
+        }
+    } else {
+        sim.run();
+    }
     return result;
 }
 

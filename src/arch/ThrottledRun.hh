@@ -23,6 +23,12 @@ struct ThrottledResult
     Time makespan = 0;
     std::uint64_t zerosConsumed = 0;
     std::uint64_t pi8Consumed = 0;
+
+    /** Gates retired (equals the circuit size unless cut off). */
+    std::uint64_t gatesExecuted = 0;
+
+    /** False when a deadline stopped the run before completion. */
+    bool completed = true;
 };
 
 /**
@@ -34,11 +40,15 @@ struct ThrottledResult
  *                    unconstrained
  * @param pi8_per_ms  encoded-pi/8 production rate; <= 0 means
  *                    unconstrained (Figure 8 constrains zeros only)
+ * @param deadline    cut the simulation off at this time (via
+ *                    Simulator::runUntil) and report a partial
+ *                    result; <= 0 runs to completion
  */
 ThrottledResult throttledRun(const DataflowGraph &graph,
                              const EncodedOpModel &model,
                              BandwidthPerMs zero_per_ms,
-                             BandwidthPerMs pi8_per_ms = 0);
+                             BandwidthPerMs pi8_per_ms = 0,
+                             Time deadline = 0);
 
 } // namespace qc
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Built-in workload registrations: the paper's three kernels plus
+ * the synthetic scaling generators, exposed to the experiment API
+ * by string name. New kernels added to this directory should
+ * register themselves here to become visible to qc::Experiment,
+ * the benches, and sweep studies.
+ */
+
+#include "api/Workload.hh"
+
+#include "kernels/Kernels.hh"
+#include "kernels/Synthetic.hh"
+
+namespace qc {
+
+namespace {
+
+/** Wrap a paper benchmark kind as a workload builder. */
+WorkloadBuilder
+paperKernel(BenchmarkKind kind)
+{
+    return [kind](FowlerSynth &synth, const WorkloadParams &params) {
+        BenchmarkOptions options;
+        options.bits = params.bits;
+        options.lowering = params.lowering;
+        options.qft = params.qft;
+        Benchmark bench = makeBenchmark(kind, synth, options);
+        return Workload{"", bench.name, std::move(bench.highLevel),
+                        std::move(bench.lowered)};
+    };
+}
+
+/** Lower an already-built synthetic circuit into a Workload. */
+Workload
+lowerSynthetic(Circuit circuit, FowlerSynth &synth,
+               const WorkloadParams &params)
+{
+    Lowered lowered =
+        lowerToFaultTolerant(circuit, synth, params.lowering);
+    std::string name = circuit.name();
+    return Workload{"", std::move(name), std::move(circuit),
+                    std::move(lowered)};
+}
+
+} // namespace
+
+void
+registerKernelWorkloads(WorkloadRegistry &registry)
+{
+    registry.add("qrca",
+                 "32-bit-style Quantum Ripple-Carry Adder "
+                 "(serial; paper Table 3's low-bandwidth kernel)",
+                 paperKernel(BenchmarkKind::Qrca));
+    registry.add("qcla",
+                 "Quantum Carry-Lookahead Adder (parallel; the "
+                 "paper's high-bandwidth adder)",
+                 paperKernel(BenchmarkKind::Qcla));
+    registry.add("qft",
+                 "Quantum Fourier Transform with Fowler-synthesized "
+                 "rotation words (Section 2.5)",
+                 paperKernel(BenchmarkKind::Qft));
+    registry.add(
+        "chain",
+        "synthetic fully-serial 1-qubit H/T chain of `bits` gates "
+        "(zero parallelism; exact analytic properties)",
+        [](FowlerSynth &synth, const WorkloadParams &params) {
+            return lowerSynthetic(makeChain(params.bits), synth,
+                                  params);
+        });
+    registry.add(
+        "ladder",
+        "synthetic brickwork H+CX ladder, `bits` wide and `bits` "
+        "layers deep (parallelism = width)",
+        [](FowlerSynth &synth, const WorkloadParams &params) {
+            return lowerSynthetic(
+                makeLadder(params.bits, params.bits), synth, params);
+        });
+}
+
+} // namespace qc

@@ -29,4 +29,23 @@ Simulator::run()
     return now_;
 }
 
+Time
+Simulator::runUntil(Time limit)
+{
+    if (limit < now_)
+        panic("Simulator: runUntil into the past (", limit, " < ",
+              now_, ")");
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        Event event = std::move(
+            const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = event.when;
+        ++processed_;
+        event.handler();
+    }
+    if (!queue_.empty())
+        now_ = limit;
+    return now_;
+}
+
 } // namespace qc

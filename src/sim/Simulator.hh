@@ -30,7 +30,12 @@ class Simulator
     /** Current simulated time. */
     Time now() const { return now_; }
 
-    /** Schedule a handler at an absolute time (>= now). */
+    /**
+     * Schedule a handler at an absolute time. Scheduling into the
+     * past (when < now()) is an error — silently accepting such an
+     * event would fire it out of order and corrupt causality — and
+     * panics with both timestamps in the message.
+     */
     void schedule(Time when, Handler handler);
 
     /** Schedule a handler after a delay. */
@@ -42,6 +47,21 @@ class Simulator
 
     /** Run until the queue drains. Returns the final time. */
     Time run();
+
+    /**
+     * Run events with timestamps <= limit, then stop. If pending
+     * events remain, now() is advanced to `limit` (the throttled-
+     * experiment deadline semantics: the run is cut off mid-flight
+     * at exactly the budget). If the queue drains first, now() stays
+     * at the last event fired, as in run(). Calling run()/runUntil()
+     * again resumes the remaining events.
+     *
+     * @return the new now()
+     */
+    Time runUntil(Time limit);
+
+    /** Events still waiting in the queue. */
+    std::size_t pending() const { return queue_.size(); }
 
     /** Number of events processed so far. */
     std::uint64_t eventsProcessed() const { return processed_; }

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Tests for the qc::Experiment facade: workload/arch registry
+ * lookup (including unknown-name errors), the JSON value type,
+ * ExperimentConfig round-trips, and bit-identical results between
+ * the old hand-wired pipeline and qc::Experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "api/Qc.hh"
+#include "arch/Microarch.hh"
+#include "arch/SpeedOfData.hh"
+#include "arch/ThrottledRun.hh"
+#include "circuit/Dataflow.hh"
+#include "kernels/Kernels.hh"
+#include "kernels/Synthetic.hh"
+
+namespace qc {
+namespace {
+
+// ---------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------
+
+TEST(Json, RoundTripsScalarsAndContainers)
+{
+    Json j = Json::object();
+    j.set("flag", true);
+    j.set("count", 42);
+    j.set("rate", 2.5);
+    j.set("name", "qalypso \"quoted\"\n");
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push(Json());
+    j.set("list", arr);
+
+    const Json back = Json::parse(j.dump());
+    EXPECT_EQ(back, j);
+    EXPECT_TRUE(back.at("flag").asBool());
+    EXPECT_EQ(back.at("count").asInt(), 42);
+    EXPECT_DOUBLE_EQ(back.at("rate").asDouble(), 2.5);
+    EXPECT_EQ(back.at("name").asString(), "qalypso \"quoted\"\n");
+    EXPECT_EQ(back.at("list").size(), 2u);
+    EXPECT_TRUE(back.at("list").at(1).isNull());
+}
+
+TEST(Json, IntegersSurviveExactly)
+{
+    // Time values are int64 nanoseconds; a week of simulated time
+    // must round-trip without loss.
+    const std::int64_t t = msec(7LL * 24 * 3600 * 1000);
+    Json j = Json::object();
+    j.set("t", t);
+    EXPECT_EQ(Json::parse(j.dump()).at("t").asInt(), t);
+    // And without a decimal point in the text.
+    EXPECT_NE(j.dump().find(std::to_string(t)), std::string::npos);
+}
+
+TEST(Json, ParseErrorsThrow)
+{
+    EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+    EXPECT_THROW(Json::parse("[1,]2"), std::invalid_argument);
+    EXPECT_THROW(Json::parse("{\"a\": tru}"), std::invalid_argument);
+    EXPECT_THROW(Json::parse("12 34"), std::invalid_argument);
+    EXPECT_THROW(Json().at("missing"), std::invalid_argument);
+    EXPECT_THROW(Json(1.0).asString(), std::invalid_argument);
+    // Non-hex \u escapes are syntax errors, not silent corruption.
+    EXPECT_THROW(Json::parse("\"\\u12g4\""), std::invalid_argument);
+    EXPECT_THROW(Json::parse("\"\\u-123\""), std::invalid_argument);
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+}
+
+TEST(Json, HostileNestingThrowsInsteadOfOverflowing)
+{
+    const std::string deep(100000, '[');
+    EXPECT_THROW(Json::parse(deep), std::invalid_argument);
+    // Reasonable nesting is unaffected.
+    std::string ok;
+    for (int i = 0; i < 50; ++i)
+        ok += '[';
+    ok += '1';
+    for (int i = 0; i < 50; ++i)
+        ok += ']';
+    EXPECT_NO_THROW(Json::parse(ok));
+}
+
+// ---------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------
+
+TEST(WorkloadRegistry, ListsBuiltins)
+{
+    auto &registry = WorkloadRegistry::instance();
+    for (const char *name :
+         {"qrca", "qcla", "qft", "chain", "ladder"}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        EXPECT_FALSE(registry.description(name).empty()) << name;
+    }
+    EXPECT_GE(registry.names().size(), 5u);
+}
+
+TEST(WorkloadRegistry, UnknownNameThrowsListingKnown)
+{
+    FowlerSynth synth;
+    try {
+        WorkloadRegistry::instance().build("grover", synth);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("grover"), std::string::npos);
+        EXPECT_NE(what.find("qrca"), std::string::npos);
+        EXPECT_NE(what.find("qft"), std::string::npos);
+    }
+}
+
+TEST(WorkloadRegistry, RuntimeRegistrationIsVisible)
+{
+    auto &registry = WorkloadRegistry::instance();
+    registry.add("unit-test-chain", "test-only alias",
+                 [](FowlerSynth &synth, const WorkloadParams &p) {
+                     Circuit c = makeChain(p.bits);
+                     Lowered lowered =
+                         lowerToFaultTolerant(c, synth, p.lowering);
+                     return Workload{"", c.name(), c,
+                                     std::move(lowered)};
+                 });
+    FowlerSynth synth;
+    WorkloadParams params;
+    params.bits = 6;
+    const Workload w =
+        registry.build("unit-test-chain", synth, params);
+    EXPECT_EQ(w.key, "unit-test-chain");
+    EXPECT_EQ(w.highLevel.size(), 6u);
+}
+
+TEST(ArchRegistry, ListsFiveBuiltinModels)
+{
+    auto &registry = ArchRegistry::instance();
+    for (const char *key : {"qla", "gqla", "cqla", "gcqla", "fma"})
+        EXPECT_TRUE(registry.contains(key)) << key;
+    EXPECT_EQ(registry.get("qla").name(), "QLA");
+    EXPECT_EQ(registry.get("fma").name(), "Fully-Multiplexed");
+}
+
+TEST(ArchRegistry, UnknownKeyThrowsListingKnown)
+{
+    try {
+        ArchRegistry::instance().get("systolic");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("systolic"), std::string::npos);
+        EXPECT_NE(what.find("fma"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------
+// Synthetic workloads
+// ---------------------------------------------------------------
+
+TEST(Synthetic, ChainHasExactShape)
+{
+    const Circuit c = makeChain(10);
+    EXPECT_EQ(c.numQubits(), 1u);
+    EXPECT_EQ(c.size(), 10u);
+    const GateCensus census = c.census();
+    EXPECT_EQ(census.of(GateKind::H), 5u);
+    EXPECT_EQ(census.nonTransversal1q(), 5u);
+}
+
+TEST(Synthetic, LadderParallelismEqualsWidth)
+{
+    const Circuit c = makeLadder(6, 4);
+    EXPECT_EQ(c.numQubits(), 6u);
+    // 6 H per layer + 3/2 bricks alternating, 4 layers.
+    const GateCensus census = c.census();
+    EXPECT_EQ(census.of(GateKind::H), 24u);
+    EXPECT_EQ(census.of(GateKind::CX), 3u + 2u + 3u + 2u);
+}
+
+// ---------------------------------------------------------------
+// ExperimentConfig JSON round-trip
+// ---------------------------------------------------------------
+
+ExperimentConfig
+nonDefaultConfig()
+{
+    ExperimentConfig config;
+    config.workload = "qft";
+    config.params.bits = 12;
+    config.params.lowering.maxRotK = 5;
+    config.params.qft.maxK = 7;
+    config.params.qft.withSwaps = false;
+    config.synth.maxSyllables = 4;
+    config.synth.maxError = 2e-3;
+    config.synth.pureHT = true;
+    config.synth.tCostWeight = 2;
+    config.tech.tmeas = usec(10);
+    config.tech.tturn = usec(25);
+    config.errors.pGate = 3e-4;
+    config.errors.pMove = 2e-6;
+    config.schedule = ScheduleMode::Arch;
+    config.arch = "gcqla";
+    config.generatorsPerSite = 4;
+    config.cacheSlots = 12;
+    config.areaBudget = 12345.5;
+    config.teleport = usec(99);
+    config.zeroPerMs = 33.25;
+    config.pi8PerMs = 4.5;
+    config.timeLimit = msec(250);
+    config.demandBins = 17;
+    return config;
+}
+
+void
+expectConfigsEqual(const ExperimentConfig &a,
+                   const ExperimentConfig &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.params.bits, b.params.bits);
+    EXPECT_EQ(a.params.lowering.maxRotK, b.params.lowering.maxRotK);
+    EXPECT_EQ(a.params.qft.maxK, b.params.qft.maxK);
+    EXPECT_EQ(a.params.qft.withSwaps, b.params.qft.withSwaps);
+    EXPECT_EQ(a.synth.maxSyllables, b.synth.maxSyllables);
+    EXPECT_DOUBLE_EQ(a.synth.maxError, b.synth.maxError);
+    EXPECT_EQ(a.synth.pureHT, b.synth.pureHT);
+    EXPECT_EQ(a.synth.tCostWeight, b.synth.tCostWeight);
+    EXPECT_EQ(a.codeLevel, b.codeLevel);
+    EXPECT_EQ(a.tech.t1q, b.tech.t1q);
+    EXPECT_EQ(a.tech.t2q, b.tech.t2q);
+    EXPECT_EQ(a.tech.tmeas, b.tech.tmeas);
+    EXPECT_EQ(a.tech.tprep, b.tech.tprep);
+    EXPECT_EQ(a.tech.tmove, b.tech.tmove);
+    EXPECT_EQ(a.tech.tturn, b.tech.tturn);
+    EXPECT_DOUBLE_EQ(a.errors.pGate, b.errors.pGate);
+    EXPECT_DOUBLE_EQ(a.errors.pMove, b.errors.pMove);
+    EXPECT_EQ(scheduleModeName(a.schedule),
+              scheduleModeName(b.schedule));
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.generatorsPerSite, b.generatorsPerSite);
+    EXPECT_EQ(a.cacheSlots, b.cacheSlots);
+    EXPECT_DOUBLE_EQ(a.areaBudget, b.areaBudget);
+    EXPECT_EQ(a.teleport, b.teleport);
+    EXPECT_DOUBLE_EQ(a.zeroPerMs, b.zeroPerMs);
+    EXPECT_DOUBLE_EQ(a.pi8PerMs, b.pi8PerMs);
+    EXPECT_EQ(a.timeLimit, b.timeLimit);
+    EXPECT_EQ(a.demandBins, b.demandBins);
+}
+
+TEST(ExperimentConfig, JsonRoundTripPreservesEveryField)
+{
+    const ExperimentConfig config = nonDefaultConfig();
+    const ExperimentConfig back = ExperimentConfig::fromJson(
+        Json::parse(config.toJson().dump()));
+    expectConfigsEqual(config, back);
+    // And the JSON itself is a fixed point.
+    EXPECT_EQ(back.toJson(), config.toJson());
+}
+
+TEST(ExperimentConfig, FileRoundTrip)
+{
+    const std::string path = "/tmp/qc_test_config.json";
+    const ExperimentConfig config = nonDefaultConfig();
+    config.save(path);
+    const ExperimentConfig back = ExperimentConfig::load(path);
+    expectConfigsEqual(config, back);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentConfig, MissingKeysKeepDefaults)
+{
+    const ExperimentConfig config = ExperimentConfig::fromJson(
+        Json::parse("{\"workload\": \"qcla\"}"));
+    EXPECT_EQ(config.workload, "qcla");
+    const ExperimentConfig defaults;
+    EXPECT_EQ(config.params.bits, defaults.params.bits);
+    EXPECT_EQ(config.cacheSlots, defaults.cacheSlots);
+    EXPECT_EQ(scheduleModeName(config.schedule),
+              scheduleModeName(defaults.schedule));
+}
+
+TEST(ExperimentConfig, ScheduleModeNamesRoundTrip)
+{
+    for (ScheduleMode mode :
+         {ScheduleMode::SpeedOfData, ScheduleMode::Throttled,
+          ScheduleMode::Arch})
+        EXPECT_EQ(scheduleModeFromName(scheduleModeName(mode)),
+                  mode);
+    EXPECT_THROW(scheduleModeFromName("asap"),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// Experiment vs the old hand-wired pipeline (bit-identical).
+// ---------------------------------------------------------------
+
+class ExperimentParity : public ::testing::Test
+{
+  protected:
+    static ExperimentConfig
+    paperConfig(const char *workload, int bits)
+    {
+        ExperimentConfig config = ExperimentConfig::paper(workload);
+        config.params.bits = bits;
+        return config;
+    }
+
+    /** The pre-redesign wiring every bench used to carry. */
+    static Benchmark
+    handWired(BenchmarkKind kind, int bits)
+    {
+        static FowlerSynth synth(
+            ExperimentConfig::paper("qrca").synth);
+        BenchmarkOptions opts;
+        opts.bits = bits;
+        return makeBenchmark(kind, synth, opts);
+    }
+};
+
+TEST_F(ExperimentParity, AdderSpeedOfDataIsBitIdentical)
+{
+    const Benchmark old = handWired(BenchmarkKind::Qrca, 8);
+    const EncodedOpModel model(IonTrapParams::paper());
+    const DataflowGraph graph(old.lowered.circuit);
+    const LatencySplit split = latencySplit(graph, model);
+    const BandwidthSummary bw = bandwidthAtSpeedOfData(graph, model);
+
+    const Result result =
+        runExperiment(paperConfig("qrca", 8));
+    EXPECT_EQ(result.workload, old.name);
+    EXPECT_EQ(result.gates, old.lowered.circuit.census().total);
+    EXPECT_EQ(result.split.dataOp, split.dataOp);
+    EXPECT_EQ(result.split.qecInteract, split.qecInteract);
+    EXPECT_EQ(result.split.ancillaPrep, split.ancillaPrep);
+    EXPECT_EQ(result.makespan, bw.runtime);
+    EXPECT_EQ(result.zerosConsumed, bw.zerosConsumed);
+    EXPECT_EQ(result.pi8Consumed, bw.pi8Consumed);
+}
+
+TEST_F(ExperimentParity, AdderThrottledIsBitIdentical)
+{
+    const Benchmark old = handWired(BenchmarkKind::Qrca, 8);
+    const EncodedOpModel model(IonTrapParams::paper());
+    const DataflowGraph graph(old.lowered.circuit);
+
+    ExperimentConfig config = paperConfig("qrca", 8);
+    config.schedule = ScheduleMode::Throttled;
+    config.zeroPerMs = 25.0;
+    const Result result = runExperiment(config);
+
+    const ThrottledResult run = throttledRun(graph, model, 25.0);
+    EXPECT_EQ(result.makespan, run.makespan);
+    EXPECT_EQ(result.zerosConsumed, run.zerosConsumed);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.gatesExecuted, result.gates);
+}
+
+TEST_F(ExperimentParity, QftArchRunIsBitIdentical)
+{
+    const Benchmark old = handWired(BenchmarkKind::Qft, 8);
+    const EncodedOpModel model(IonTrapParams::paper());
+    const DataflowGraph graph(old.lowered.circuit);
+
+    ExperimentConfig config = paperConfig("qft", 8);
+    config.schedule = ScheduleMode::Arch;
+    config.arch = "gcqla";
+    config.generatorsPerSite = 4;
+    config.cacheSlots = 8;
+
+    // The pre-redesign enum-switch entry point.
+    MicroarchConfig mc = config.microarchConfig();
+    mc.kind = MicroarchKind::Gcqla;
+    const ArchRunResult oldRun = runMicroarch(graph, model, mc);
+
+    const Result result = runExperiment(config);
+    EXPECT_EQ(result.makespan, oldRun.makespan);
+    EXPECT_EQ(result.archRun.zerosConsumed, oldRun.zerosConsumed);
+    EXPECT_EQ(result.archRun.pi8Consumed, oldRun.pi8Consumed);
+    EXPECT_EQ(result.archRun.teleports, oldRun.teleports);
+    EXPECT_EQ(result.archRun.cacheMisses, oldRun.cacheMisses);
+    EXPECT_EQ(result.archRun.cacheAccesses, oldRun.cacheAccesses);
+    EXPECT_DOUBLE_EQ(result.archRun.ancillaArea,
+                     oldRun.ancillaArea);
+}
+
+TEST_F(ExperimentParity, ConfigJsonRoundTripReproducesResult)
+{
+    // The acceptance-criteria guard: one exemplar config survives a
+    // JSON round-trip and reproduces the same Result.
+    ExperimentConfig config = paperConfig("qrca", 8);
+    config.schedule = ScheduleMode::Arch;
+    config.arch = "fma";
+    config.areaBudget = 2000;
+
+    const ExperimentConfig reloaded = ExperimentConfig::fromJson(
+        Json::parse(config.toJson().dump()));
+    const Result a = runExperiment(config);
+    const Result b = runExperiment(reloaded);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.zerosConsumed, b.zerosConsumed);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+// ---------------------------------------------------------------
+// Experiment behavior
+// ---------------------------------------------------------------
+
+TEST(Experiment, RejectsUnsupportedCodeLevel)
+{
+    ExperimentConfig config;
+    config.codeLevel = 2;
+    EXPECT_THROW(runExperiment(config), std::invalid_argument);
+}
+
+TEST(Experiment, VariantMustDescribeSameWorkload)
+{
+    ExperimentConfig config;
+    config.workload = "chain";
+    config.params.bits = 6;
+    Experiment experiment(config);
+
+    ExperimentConfig other = config;
+    other.workload = "ladder";
+    EXPECT_THROW(experiment.run(other), std::invalid_argument);
+
+    // Schedule knobs may differ freely.
+    ExperimentConfig throttled = config;
+    throttled.schedule = ScheduleMode::Throttled;
+    throttled.zeroPerMs = 50.0;
+    EXPECT_NO_THROW(experiment.run(throttled));
+}
+
+TEST(Experiment, TimeLimitCutsThrottledRunShort)
+{
+    ExperimentConfig config;
+    config.workload = "chain";
+    config.params.bits = 40;
+    config.schedule = ScheduleMode::Throttled;
+    config.zeroPerMs = 10.0;
+
+    const Result full = runExperiment(config);
+    ASSERT_TRUE(full.completed);
+
+    config.timeLimit = full.makespan / 2;
+    const Result cut = runExperiment(config);
+    EXPECT_FALSE(cut.completed);
+    EXPECT_LE(cut.makespan, config.timeLimit);
+    EXPECT_LT(cut.gatesExecuted, full.gatesExecuted);
+    EXPECT_LT(cut.klops(), full.klops() * 1.5);
+}
+
+TEST(Experiment, UtilizationIsAFractionAtSpeedOfData)
+{
+    const Result result = [&] {
+        ExperimentConfig config;
+        config.workload = "qcla";
+        config.params.bits = 8;
+        return runExperiment(config);
+    }();
+    EXPECT_GT(result.zeroUtilization, 0.0);
+    EXPECT_LE(result.zeroUtilization, 1.0 + 1e-9);
+    EXPECT_GT(result.klops(), 0.0);
+    EXPECT_GE(result.slowdown(), 1.0 - 1e-12);
+}
+
+TEST(Experiment, ResultJsonHasTheContractedSections)
+{
+    ExperimentConfig config;
+    config.workload = "chain";
+    config.params.bits = 8;
+    config.demandBins = 5;
+    const Json j = runExperiment(config).toJson();
+    for (const char *key :
+         {"workload", "schedule", "circuit", "latency_split",
+          "bandwidth", "demand_profile", "factories", "run"})
+        EXPECT_TRUE(j.has(key)) << key;
+    EXPECT_EQ(j.at("demand_profile").size(), 5u);
+    EXPECT_EQ(j.at("run").at("completed").asBool(), true);
+}
+
+} // namespace
+} // namespace qc

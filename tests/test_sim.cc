@@ -74,6 +74,58 @@ TEST(SimulatorDeath, RejectsPastScheduling)
     EXPECT_DEATH(sim.run(), "past");
 }
 
+TEST(Simulator, RunUntilStopsAtTheLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    for (Time t : {usec(10), usec(20), usec(30), usec(40)})
+        sim.schedule(t, [&] { ++fired; });
+    // Events at the limit itself still fire.
+    EXPECT_EQ(sim.runUntil(usec(20)), usec(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.pending(), 2u);
+    EXPECT_EQ(sim.now(), usec(20));
+}
+
+TEST(Simulator, RunUntilAdvancesNowToLimitWhenCutOff)
+{
+    Simulator sim;
+    sim.schedule(usec(100), [] {});
+    EXPECT_EQ(sim.runUntil(usec(60)), usec(60));
+    EXPECT_EQ(sim.now(), usec(60));
+    EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilDrainsLikeRunWhenQueueEmpties)
+{
+    Simulator sim;
+    sim.schedule(usec(15), [] {});
+    // Queue drains before the limit: now() stays at the last event.
+    EXPECT_EQ(sim.runUntil(usec(1000)), usec(15));
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunResumesAfterRunUntil)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(usec(10), [&] { order.push_back(1); });
+    sim.schedule(usec(30), [&] { order.push_back(2); });
+    sim.runUntil(usec(20));
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    // Remaining events stay queued and a later run() finishes them.
+    EXPECT_EQ(sim.run(), usec(30));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorDeath, RunUntilRejectsPastLimits)
+{
+    Simulator sim;
+    sim.schedule(usec(50), [] {});
+    sim.runUntil(usec(40));
+    EXPECT_DEATH(sim.runUntil(usec(30)), "past");
+}
+
 TEST(RateTokenPool, TokensArriveAtRate)
 {
     // 2 tokens per ms -> k-th token at k * 0.5 ms.
