@@ -46,14 +46,15 @@ class ArchExecution
     virtual ~ArchExecution() = default;
 
     /**
-     * Movement / cache latency charged before the gate executes.
-     * Implementations update their movement counters in result.
+     * Movement / cache latency (ns) charged before the gate
+     * executes. Implementations update their movement counters in
+     * result.
      */
     virtual Time moveOverhead(const Gate &gate) = 0;
 
     /**
-     * Earliest time the gate's encoded ancillae are delivered to
-     * its QEC site, given the launch attempt at `now`.
+     * Earliest simulated time (ns) the gate's encoded ancillae are
+     * delivered to its QEC site, given the launch attempt at `now`.
      */
     virtual Time ancillaReady(const Gate &gate, Time now) = 0;
 
@@ -83,7 +84,10 @@ class ArchModel
 
     /**
      * Run one dataflow graph to completion: the shared event-driven
-     * executor, identical for every model.
+     * executor, identical for every model. The EncodedOpModel must
+     * already be at the config's code level (the facade builds it
+     * from ConcatenatedSteane::effectiveTech); times in the result
+     * are ns, areas macroblocks.
      */
     ArchRunResult run(const DataflowGraph &graph,
                       const EncodedOpModel &model,

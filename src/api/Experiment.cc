@@ -3,6 +3,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "codes/ConcatenatedCode.hh"
+#include "error/RecursiveError.hh"
+#include "factory/ConcatenatedFactory.hh"
+#include "layout/Builders.hh"
+
 namespace qc {
 
 namespace {
@@ -72,6 +77,7 @@ ExperimentConfig::microarchConfig() const
 {
     MicroarchConfig out;
     out.tech = tech;
+    out.codeLevel = codeLevel;
     out.generatorsPerSite = generatorsPerSite;
     out.cacheSlots = cacheSlots;
     out.areaBudget = areaBudget;
@@ -117,6 +123,9 @@ ExperimentConfig::toJson() const
     j.set("synth", synthJson);
 
     j.set("codeLevel", codeLevel);
+    j.set("calibrateFactories", calibrateFactories);
+    j.set("calibrationTrials",
+          static_cast<std::int64_t>(calibrationTrials));
     j.set("tech", ionTrapToJson(tech));
 
     Json errorsJson = Json::object();
@@ -169,6 +178,12 @@ ExperimentConfig::fromJson(const Json &j)
     }
     config.codeLevel = static_cast<int>(
         j.getInt("codeLevel", config.codeLevel));
+    config.calibrateFactories = j.getBool(
+        "calibrateFactories", config.calibrateFactories);
+    config.calibrationTrials =
+        static_cast<std::uint64_t>(j.getInt(
+            "calibrationTrials",
+            static_cast<std::int64_t>(config.calibrationTrials)));
     if (j.has("tech"))
         config.tech = ionTrapFromJson(j.at("tech"));
     if (j.has("errors")) {
@@ -235,6 +250,10 @@ Result::toJson() const
     j.set("schedule", schedule);
     if (!arch.empty())
         j.set("arch", arch);
+    // Level-1 serialization predates the level knob and stays
+    // byte-identical; the key appears only for concatenated runs.
+    if (codeLevel != 1)
+        j.set("code_level", codeLevel);
 
     Json circuit = Json::object();
     circuit.set("qubits", qubits);
@@ -273,6 +292,12 @@ Result::toJson() const
     factories.set("total_area", allocation.totalArea());
     factories.set("zero_utilization", zeroUtilization);
     factories.set("pi8_utilization", pi8Utilization);
+    if (allocation.codeLevel >= 2) {
+        factories.set("inter_level_zero_per_ms",
+                      allocation.interLevelZeroPerMs);
+        factories.set("level1_feeder_factories",
+                      allocation.level1FeederFactories);
+    }
     j.set("factories", factories);
 
     Json run = Json::object();
@@ -325,6 +350,13 @@ Experiment::analytics(const ExperimentConfig &variant)
     const IonTrapParams &tech = variant.tech;
     const bool fresh = !analytics_
         || analytics_->demandBins != bins
+        || analytics_->codeLevel != variant.codeLevel
+        || analytics_->calibrated != variant.calibrateFactories
+        || (variant.calibrateFactories
+            && (analytics_->calibrationTrials
+                    != variant.calibrationTrials
+                || analytics_->errors.pGate != variant.errors.pGate
+                || analytics_->errors.pMove != variant.errors.pMove))
         || analytics_->tech.t1q != tech.t1q
         || analytics_->tech.t2q != tech.t2q
         || analytics_->tech.tmeas != tech.tmeas
@@ -332,18 +364,59 @@ Experiment::analytics(const ExperimentConfig &variant)
         || analytics_->tech.tmove != tech.tmove
         || analytics_->tech.tturn != tech.tturn;
     if (fresh) {
-        const EncodedOpModel model(tech);
+        // The encoded-op yardstick: level-1 uses the physical
+        // technology point directly; level 2 prices every encoded
+        // operation with the recursive effective latencies.
+        const EncodedOpModel model(ConcatenatedSteane::effectiveTech(
+            tech, variant.codeLevel));
         const DataflowGraph &graph = *graph_;
         Analytics out;
         out.tech = tech;
+        out.codeLevel = variant.codeLevel;
+        out.calibrated = variant.calibrateFactories;
+        out.calibrationTrials = variant.calibrationTrials;
+        out.errors = variant.errors;
         out.demandBins = bins;
         out.split = latencySplit(graph, model);
         out.bandwidth = bandwidthAtSpeedOfData(graph, model);
         out.demandProfile = ancillaDemandProfile(
             graph, model, static_cast<std::size_t>(bins));
-        out.allocation = allocateForBandwidth(
-            ZeroFactory(tech), Pi8Factory(tech),
-            out.bandwidth.zeroPerMs(), out.bandwidth.pi8PerMs());
+        if (variant.codeLevel >= 2) {
+            // Level-2 cascades; optionally with both verification
+            // acceptances measured by the recursive Monte Carlo.
+            Level2ZeroFactory zero =
+                variant.calibrateFactories
+                    ? Level2ZeroFactory::calibrated(
+                          tech,
+                          analyzeRecursiveError(
+                              variant.errors,
+                              calibrateMovement(buildSimpleFactory(),
+                                                tech),
+                              /*seed=*/1, variant.calibrationTrials,
+                              variant.calibrationTrials * 4))
+                    : Level2ZeroFactory(tech);
+            const Level2Pi8Factory pi8(tech);
+            out.allocation = allocateForBandwidthLevel2(
+                zero, pi8, out.bandwidth.zeroPerMs(),
+                out.bandwidth.pi8PerMs());
+            out.zeroUnitThroughput = zero.throughput();
+            out.pi8UnitThroughput = pi8.throughput();
+        } else {
+            const ZeroFactory zero =
+                variant.calibrateFactories
+                    ? ZeroFactory::calibrated(
+                          tech, variant.errors,
+                          calibrateMovement(buildSimpleFactory(),
+                                            tech),
+                          /*seed=*/1, variant.calibrationTrials)
+                    : ZeroFactory(tech);
+            const Pi8Factory pi8(tech);
+            out.allocation = allocateForBandwidth(
+                zero, pi8, out.bandwidth.zeroPerMs(),
+                out.bandwidth.pi8PerMs());
+            out.zeroUnitThroughput = zero.throughput();
+            out.pi8UnitThroughput = pi8.throughput();
+        }
         analytics_ = std::move(out);
     }
     return *analytics_;
@@ -358,11 +431,7 @@ Experiment::run()
 Result
 Experiment::run(const ExperimentConfig &variant)
 {
-    if (variant.codeLevel != 1) {
-        throw std::invalid_argument(
-            "codeLevel " + std::to_string(variant.codeLevel)
-            + " not modeled; only the level-1 [[7,1,3]] code is");
-    }
+    ConcatenatedSteane::validateLevel(variant.codeLevel);
     if (variant.workload != config_.workload
         || variant.params.bits != config_.params.bits
         || variant.params.lowering.maxRotK
@@ -382,7 +451,8 @@ Experiment::run(const ExperimentConfig &variant)
     }
 
     const Workload &w = workload();
-    const EncodedOpModel model(variant.tech);
+    const EncodedOpModel model(ConcatenatedSteane::effectiveTech(
+        variant.tech, variant.codeLevel));
     if (!graph_)
         graph_.emplace(w.lowered.circuit);
     const DataflowGraph &graph = *graph_;
@@ -390,6 +460,7 @@ Experiment::run(const ExperimentConfig &variant)
     Result result;
     result.workload = w.name;
     result.schedule = scheduleModeName(variant.schedule);
+    result.codeLevel = variant.codeLevel;
     result.qubits = static_cast<int>(w.lowered.circuit.numQubits());
     const GateCensus census = w.lowered.circuit.census();
     result.gates = census.total;
@@ -402,9 +473,6 @@ Experiment::run(const ExperimentConfig &variant)
     result.bandwidth = cached.bandwidth;
     result.demandProfile = cached.demandProfile;
     result.allocation = cached.allocation;
-
-    const ZeroFactory zeroFactory(variant.tech);
-    const Pi8Factory pi8Factory(variant.tech);
 
     switch (variant.schedule) {
       case ScheduleMode::SpeedOfData:
@@ -420,7 +488,7 @@ Experiment::run(const ExperimentConfig &variant)
         const BandwidthPerMs zeroRate = variant.zeroPerMs > 0
             ? variant.zeroPerMs
             : provisionedUnits(result.allocation.zeroFactoriesForQec)
-                * zeroFactory.throughput();
+                * cached.zeroUnitThroughput;
         const ThrottledResult run =
             throttledRun(graph, model, zeroRate, variant.pi8PerMs,
                          variant.timeLimit);
@@ -452,10 +520,10 @@ Experiment::run(const ExperimentConfig &variant)
         const double ms = toMs(result.makespan);
         const double zeroCap =
             provisionedUnits(result.allocation.zeroFactoriesForQec)
-            * zeroFactory.throughput();
+            * cached.zeroUnitThroughput;
         const double pi8Cap =
             provisionedUnits(result.allocation.pi8Factories)
-            * pi8Factory.throughput();
+            * cached.pi8UnitThroughput;
         if (zeroCap > 0) {
             result.zeroUtilization =
                 static_cast<double>(result.zerosConsumed) / ms

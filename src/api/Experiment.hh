@@ -25,6 +25,7 @@
 #ifndef QC_API_EXPERIMENT_HH
 #define QC_API_EXPERIMENT_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,18 +85,39 @@ struct ExperimentConfig
     FowlerSynth::Options synth{};
 
     /**
-     * Error-correction code recursion level. The models cover the
-     * paper's level-1 [[7,1,3]] Steane code only; any other value
-     * is rejected at run time so configs stay honest when higher
-     * levels land.
+     * Error-correction code recursion level: 1 is the paper's
+     * [[7,1,3]] Steane baseline, 2 re-encodes every logical qubit
+     * as seven level-1 blocks (recursive durations, error rates and
+     * cascade factories from codes/ConcatenatedCode.hh,
+     * error/RecursiveError.hh and factory/ConcatenatedFactory.hh).
+     * Levels outside [1, ConcatenatedSteane::maxModeledLevel] are
+     * rejected at run time with std::invalid_argument so configs
+     * stay honest about what is modeled.
      */
     int codeLevel = 1;
 
-    /** Physical operation latencies (Tables 1 and 4). */
+    /** Physical operation latencies in ns (Tables 1 and 4). */
     IonTrapParams tech = IonTrapParams::paper();
 
     /** Physical error rates (Section 2.2); recorded in results. */
     ErrorParams errors = ErrorParams::paper();
+
+    /**
+     * Monte Carlo factory calibration: when true, the zero-factory
+     * designs behind the Table 9 allocation, the throttled-mode
+     * default supply rate and the utilization yardsticks are sized
+     * from the verification acceptance *measured* at `errors` by
+     * the batched Pauli-frame engine (ZeroFactory::calibrated, with
+     * movement charges calibrated from the routed Fig 11 layout)
+     * instead of the hard-coded Table 6 constant. At codeLevel 2
+     * the recursive analysis calibrates both level acceptances.
+     * Off by default: the paper's constants keep results
+     * bit-reproducible without a Monte Carlo pass.
+     */
+    bool calibrateFactories = false;
+
+    /** Trials for the calibration pass (per level). */
+    std::uint64_t calibrationTrials = 1 << 20;
 
     /** Schedule mode (see ScheduleMode). */
     ScheduleMode schedule = ScheduleMode::SpeedOfData;
@@ -113,19 +135,22 @@ struct ExperimentConfig
     /** FullyMultiplexed: total factory area budget (macroblocks). */
     Area areaBudget = 3000;
 
-    /** Teleport latency override; 0 derives from tech. */
+    /** Teleport latency override in ns; 0 derives from the
+     *  effective technology point at codeLevel. */
     Time teleport = 0;
 
     // --- Throttled mode --------------------------------------------
-    /** Encoded-zero supply rate; 0 = use the sized allocation. */
+    /** Encoded-zero supply rate (ancillae per ms); 0 = use the
+     *  sized allocation's provisioned rate. */
     BandwidthPerMs zeroPerMs = 0;
 
-    /** Encoded-pi/8 supply rate; 0 = unconstrained. */
+    /** Encoded-pi/8 supply rate (ancillae per ms); 0 =
+     *  unconstrained. */
     BandwidthPerMs pi8PerMs = 0;
 
     /**
-     * Throttled-run budget: cut the simulation off at this time
-     * and report a partial result. 0 = run to completion.
+     * Throttled-run budget in ns: cut the simulation off at this
+     * time and report a partial result. 0 = run to completion.
      */
     Time timeLimit = 0;
 
@@ -159,24 +184,26 @@ struct Result
     std::string workload;  ///< display name
     std::string schedule;  ///< schedule mode name
     std::string arch;      ///< arch model name (Arch mode only)
+    int codeLevel = 1;     ///< code recursion level of the run
 
     // --- Circuit shape ---------------------------------------------
-    int qubits = 0;
+    int qubits = 0;              ///< logical qubit count
     std::uint64_t gates = 0;     ///< fault-tolerant gate count
     std::uint64_t pi8Gates = 0;  ///< non-transversal (T/Tdg) count
 
     // --- Speed-of-data analytics (always computed) -----------------
-    LatencySplit split;            ///< Table 2 latency split
-    BandwidthSummary bandwidth;    ///< Table 3 demand
+    LatencySplit split;            ///< Table 2 latency split (ns)
+    BandwidthSummary bandwidth;    ///< Table 3 demand (per ms)
     std::vector<double> demandProfile; ///< Figure 7 envelope
+                                       ///< (avg ancillae per bin)
 
     // --- Factory provisioning (Table 9 sizing, integral units) ----
-    FactoryAllocation allocation;
+    FactoryAllocation allocation; ///< counts + areas (macroblocks)
     double zeroUtilization = 0; ///< achieved / provisioned zero BW
     double pi8Utilization = 0;  ///< achieved / provisioned pi/8 BW
 
     // --- Scheduled outcome -----------------------------------------
-    Time makespan = 0;
+    Time makespan = 0;         ///< ns under the configured schedule
     bool completed = true;     ///< false if timeLimit cut it off
     std::uint64_t gatesExecuted = 0; ///< retired (< gates if cut)
     std::uint64_t zerosConsumed = 0;
@@ -244,11 +271,20 @@ class Experiment
     struct Analytics
     {
         IonTrapParams tech;
+        int codeLevel = 1;
+        bool calibrated = false;
+        std::uint64_t calibrationTrials = 0;
+        ErrorParams errors;
         int demandBins = 0;
         LatencySplit split;
         BandwidthSummary bandwidth;
         std::vector<double> demandProfile;
         FactoryAllocation allocation;
+        /** Delivered bandwidth of one provisioned zero / pi/8
+         *  factory at this level (per ms), for the throttled-mode
+         *  default supply and the utilization yardsticks. */
+        BandwidthPerMs zeroUnitThroughput = 0;
+        BandwidthPerMs pi8UnitThroughput = 0;
     };
 
     const Analytics &analytics(const ExperimentConfig &variant);

@@ -11,16 +11,24 @@
  *                          polymorphic qc::ArchModel instances
  *                          ("qla", "gqla", "cqla", "gcqla", "fma")
  *  - qc::ExperimentConfig  one JSON-round-trippable description of
- *                          a run (workload, code level, error
- *                          rates, schedule mode, factory budget)
+ *                          a run (workload, code level 1 or 2,
+ *                          error rates, schedule mode, factory
+ *                          budget, optional Monte Carlo factory
+ *                          calibration)
  *  - qc::Experiment /      build once, run schedule variants, get a
  *    qc::runExperiment     structured qc::Result (latency split,
  *                          demand profile, factory utilization,
  *                          KLOPS) that serializes to JSON
  *  - qc::Json              the minimal JSON value used throughout
  *
+ * Units everywhere: qc::Time is integer nanoseconds, areas are
+ * macroblocks, bandwidths are items per millisecond, error rates
+ * are probabilities per operation.
+ *
  * The paper's headline artifacts map to one-liners; see
- * src/api/README.md for the table/figure-to-call map.
+ * src/api/README.md for the table/figure-to-call map,
+ * docs/ARCHITECTURE.md for the module tour, and docs/PAPER_MAP.md
+ * for the artifact-to-bench map (level-2 analogs included).
  */
 
 #ifndef QC_API_QC_HH

@@ -32,10 +32,10 @@ namespace qc {
 /** Construction knobs shared by all workload builders. */
 struct WorkloadParams
 {
-    /** Operand width / qubit count (the paper uses 32). */
+    /** Operand width in bits / logical qubit count (paper: 32). */
     int bits = 32;
 
-    /** Lowering knobs (rotation cutoff). */
+    /** Lowering knobs (rotation cutoff index k for pi/2^k). */
     LoweringOptions lowering{};
 
     /** QFT-specific generation knobs. */

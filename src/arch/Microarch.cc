@@ -6,10 +6,18 @@
 #include <vector>
 
 #include "api/ArchModel.hh"
+#include "codes/ConcatenatedCode.hh"
 #include "common/Logging.hh"
+#include "factory/ConcatenatedFactory.hh"
 #include "sim/TokenPool.hh"
 
 namespace qc {
+
+IonTrapParams
+MicroarchConfig::effTech() const
+{
+    return ConcatenatedSteane::effectiveTech(tech, codeLevel);
+}
 
 std::string
 microarchName(MicroarchKind kind)
@@ -147,12 +155,17 @@ class QlaExecution : public ArchExecution
           pi8Extra_(pi8Extra(model))
     {
         const Qubit nq = graph.circuit().numQubits();
-        const SimpleZeroFactory simple(config.tech);
+        // The dedicated serial generator is the Fig 11 schedule at
+        // the configured level's block-operation latencies, on a
+        // tile whose footprint scales with the block.
+        const SimpleZeroFactory simple(config.effTech());
+        const Area tileScale =
+            ConcatenatedSteane::tileArea(config.codeLevel);
         banks_.reserve(nq);
         for (Qubit q = 0; q < nq; ++q)
             banks_.emplace_back(k, simple.latency());
         result.ancillaArea =
-            static_cast<Area>(nq) * k * simple.area();
+            static_cast<Area>(nq) * k * simple.area() * tileScale;
     }
 
     Time
@@ -234,18 +247,20 @@ class CqlaExecution : public ArchExecution
         : model_(model),
           teleport_(config.teleportLatency()),
           pi8Extra_(pi8Extra(model)),
-          tech_(config.tech),
+          tech_(config.effTech()),
           cacheSlots_(config.cacheSlots),
           cache_(static_cast<std::size_t>(
               std::max(2, config.cacheSlots)))
     {
-        const SimpleZeroFactory simple(config.tech);
+        const SimpleZeroFactory simple(config.effTech());
+        const Area tileScale =
+            ConcatenatedSteane::tileArea(config.codeLevel);
         slotBanks_.reserve(static_cast<std::size_t>(
             std::max(2, config.cacheSlots)));
         for (int s = 0; s < std::max(2, config.cacheSlots); ++s)
             slotBanks_.emplace_back(k, simple.latency());
-        result.ancillaArea =
-            static_cast<Area>(config.cacheSlots) * k * simple.area();
+        result.ancillaArea = static_cast<Area>(config.cacheSlots)
+            * k * simple.area() * tileScale;
     }
 
     Time
@@ -343,11 +358,31 @@ class FmaExecution : public ArchExecution
                  const EncodedOpModel &model,
                  const MicroarchConfig &config)
         : model_(model),
-          tech_(config.tech),
+          tech_(config.effTech()),
           nq_(static_cast<int>(graph.circuit().numQubits()))
     {
-        const ZeroFactory zeroFactory(config.tech);
-        const Pi8Factory pi8Factory(config.tech);
+        // Area per unit delivered bandwidth and pipeline fill
+        // latency for each product at the configured code level.
+        // Each pi/8 ancilla also consumes one zero, hence the
+        // cost_zero coupling term.
+        double cost_zero, cost_pi8;
+        Time zero_fill, pi8_fill;
+        const auto price = [&](const auto &zeroFactory,
+                               const auto &pi8Factory) {
+            cost_zero =
+                zeroFactory.totalArea() / zeroFactory.throughput();
+            cost_pi8 =
+                pi8Factory.totalArea() / pi8Factory.throughput()
+                + cost_zero;
+            zero_fill = zeroFactory.latency();
+            pi8_fill = zeroFactory.latency() + pi8Factory.latency();
+        };
+        if (config.codeLevel >= 2) {
+            price(Level2ZeroFactory(config.tech),
+                  Level2Pi8Factory(config.tech));
+        } else {
+            price(ZeroFactory(config.tech), Pi8Factory(config.tech));
+        }
 
         // Split the budget between the zero farm and the pi/8 chain
         // in proportion to the circuit's demand mix.
@@ -360,12 +395,6 @@ class FmaExecution : public ArchExecution
                 static_cast<std::uint64_t>(model.pi8Ancillae(g));
         }
 
-        // Area per unit bandwidth for each product.
-        const double cost_zero =
-            zeroFactory.totalArea() / zeroFactory.throughput();
-        const double cost_pi8 =
-            pi8Factory.totalArea() / pi8Factory.throughput()
-            + zeroFactory.totalArea() / zeroFactory.throughput();
         const double weighted =
             static_cast<double>(zero_demand) * cost_zero
             + static_cast<double>(pi8_demand) * cost_pi8;
@@ -375,10 +404,8 @@ class FmaExecution : public ArchExecution
             static_cast<double>(zero_demand) * scale;
         const BandwidthPerMs pi8_bw =
             static_cast<double>(pi8_demand) * scale;
-        zeros_ = std::make_unique<RateTokenPool>(
-            zero_bw, zeroFactory.latency());
-        pi8s_ = std::make_unique<RateTokenPool>(
-            pi8_bw, zeroFactory.latency() + pi8Factory.latency());
+        zeros_ = std::make_unique<RateTokenPool>(zero_bw, zero_fill);
+        pi8s_ = std::make_unique<RateTokenPool>(pi8_bw, pi8_fill);
         result.ancillaArea = config.areaBudget;
     }
 

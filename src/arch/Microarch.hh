@@ -72,6 +72,15 @@ struct MicroarchConfig
     IonTrapParams tech{};
 
     /**
+     * Code recursion level of the executed circuit's logical qubits
+     * (1 = the paper's [[7,1,3]] baseline, 2 = concatenated). The
+     * models derive effective block-operation latencies, generator
+     * designs and footprints from it; `tech` stays the *physical*
+     * technology point at every level.
+     */
+    int codeLevel = 1;
+
+    /**
      * (G)QLA / (G)CQLA: parallel generators per site; 1 reproduces
      * the original QLA/CQLA proposals.
      */
@@ -90,9 +99,16 @@ struct MicroarchConfig
     /**
      * Teleportation latency between tiles / to the compute cache
      * (EPR prep, transversal Bell measurement and fix-up). Zero
-     * means "derive from tech" (tprep + 2 t2q + tmeas + 2 t1q).
+     * means "derive from the effective technology point"
+     * (tprep + 2 t2q + tmeas + 2 t1q at the configured codeLevel).
      */
     Time teleport = 0;
+
+    /**
+     * Effective block-operation latencies at codeLevel
+     * (ConcatenatedSteane::effectiveTech; equals `tech` at level 1).
+     */
+    IonTrapParams effTech() const;
 
     /** Derived teleport latency. */
     Time
@@ -100,7 +116,8 @@ struct MicroarchConfig
     {
         if (teleport > 0)
             return teleport;
-        return tech.tprep + 2 * tech.t2q + tech.tmeas + 2 * tech.t1q;
+        const IonTrapParams eff = effTech();
+        return eff.tprep + 2 * eff.t2q + eff.tmeas + 2 * eff.t1q;
     }
 };
 

@@ -1,0 +1,78 @@
+#include "codes/ConcatenatedCode.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "codes/EncodedOp.hh"
+
+namespace qc {
+
+void
+ConcatenatedSteane::validateLevel(int level)
+{
+    if (level >= 1 && level <= maxModeledLevel)
+        return;
+    throw std::invalid_argument(
+        "codeLevel " + std::to_string(level)
+        + " not modeled; the [[7,1,3]] Steane code is modeled at "
+          "levels 1 and "
+        + std::to_string(maxModeledLevel)
+        + " (recursive concatenation beyond level "
+        + std::to_string(maxModeledLevel) + " is future work)");
+}
+
+int
+ConcatenatedSteane::physicalQubits(int level)
+{
+    validateLevel(level);
+    int n = 1;
+    for (int l = 0; l < level; ++l)
+        n *= 7;
+    return n;
+}
+
+Area
+ConcatenatedSteane::tileArea(int level)
+{
+    validateLevel(level);
+    Area area = 1;
+    for (int l = 1; l < level; ++l)
+        area *= areaScalePerLevel;
+    return area;
+}
+
+IonTrapParams
+ConcatenatedSteane::stepUp(const IonTrapParams &tech)
+{
+    const EncodedOpModel lower(tech);
+    const Time qec = lower.qecInteractLatency();
+    IonTrapParams eff;
+    // Transversal gates run one encoded gate on each sub-block
+    // concurrently; each is followed by the lower level's QEC
+    // interaction window (Fig 2 accounting, one level down).
+    eff.t1q = tech.t1q + qec;
+    eff.t2q = tech.t2q + qec;
+    // Transversal readout measures all sub-blocks concurrently; the
+    // recursive decode is classical post-processing.
+    eff.tmeas = tech.tmeas;
+    // A fresh "primitive" zero one level up is a complete
+    // verify-and-correct rebuild at the lower level (Fig 4c).
+    eff.tprep = lower.zeroPrepLatency();
+    // Blocks cross linearly larger tiles; turns go through the same
+    // intersections.
+    eff.tmove = moveScalePerLevel * tech.tmove;
+    eff.tturn = tech.tturn;
+    return eff;
+}
+
+IonTrapParams
+ConcatenatedSteane::effectiveTech(const IonTrapParams &tech, int level)
+{
+    validateLevel(level);
+    IonTrapParams eff = tech;
+    for (int l = 1; l < level; ++l)
+        eff = stepUp(eff);
+    return eff;
+}
+
+} // namespace qc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Recursive concatenation of the [[7,1,3]] Steane code (paper
+ * Section 2.1: "logical qubits may be re-encoded recursively").
+ *
+ * The key observation the model rests on is self-similarity: a
+ * level-L logical qubit is seven level-(L-1) blocks, and every
+ * level-L primitive operation is the level-1 schedule executed with
+ * level-(L-1) encoded operations in place of physical ones. The
+ * paper's accounting (every useful encoded gate is followed by a
+ * QEC step whose data/ancilla interaction rides the critical path)
+ * therefore recurses cleanly:
+ *
+ *     t1q(L)   = t1q(L-1) + qec(L-1)      transversal 1q + lower QEC
+ *     t2q(L)   = t2q(L-1) + qec(L-1)      transversal CX + lower QEC
+ *     tmeas(L) = tmeas(L-1)               transversal readout;
+ *                                         decoding is classical
+ *     tprep(L) = zeroPrep(L-1)            a fresh level-(L-1) zero,
+ *                                         rebuilt from scratch
+ *     qec(L)   = t2q(L) + tmeas(L) + t1q(L)
+ *
+ * where zeroPrep is the Fig 4c verify-and-correct schedule and qec
+ * is the Fig 2 interaction window, both already symbolic in the
+ * technology parameters. effectiveTech() packages one level of this
+ * recursion as an IonTrapParams whose entries are the latencies of
+ * level-(L-1) encoded primitives, so EncodedOpModel(effectiveTech(
+ * tech, L)) prices level-L operations with its unmodified formulas.
+ *
+ * Footprints scale by areaScalePerLevel per level: seven sub-block
+ * tiles plus an equal share of intra-block channel/ancilla routing
+ * (the macroblock discipline of Section 4.1 applied one level up).
+ * Movement latencies scale by the linear size of the tile,
+ * moveScalePerLevel = ceil(sqrt(areaScalePerLevel)).
+ *
+ * All times are ns (Time); areas are level-1 macroblocks (Area).
+ */
+
+#ifndef QC_CODES_CONCATENATED_CODE_HH
+#define QC_CODES_CONCATENATED_CODE_HH
+
+#include "common/Params.hh"
+#include "common/Types.hh"
+
+namespace qc {
+
+/** Level-parameterized tables for concatenated [[7,1,3]] coding. */
+class ConcatenatedSteane
+{
+  public:
+    /** Highest recursion level the models cover. */
+    static constexpr int maxModeledLevel = 2;
+
+    /**
+     * Tile-area growth per concatenation level: seven sub-block
+     * tiles plus an equal routing share (Section 4.1's macroblock
+     * split between gate locations and channels, one level up).
+     */
+    static constexpr int areaScalePerLevel = 14;
+
+    /** Linear tile growth per level: ceil(sqrt(areaScalePerLevel)). */
+    static constexpr int moveScalePerLevel = 4;
+
+    /**
+     * Validate a code recursion level. Throws std::invalid_argument
+     * for level < 1 or level > maxModeledLevel with a message naming
+     * what is modeled.
+     */
+    static void validateLevel(int level);
+
+    /** Physical qubits per level-L logical qubit: 7^L. */
+    static int physicalQubits(int level);
+
+    /**
+     * Data-tile footprint of one level-L logical qubit, in (level-1)
+     * macroblocks: areaScalePerLevel^(L-1) times the level-1 tile.
+     */
+    static Area tileArea(int level);
+
+    /**
+     * Effective technology point at a recursion level: the latencies
+     * (ns) of level-(L-1) encoded primitive operations, suitable for
+     * constructing an EncodedOpModel that prices level-L encoded
+     * operations. Level 1 returns `tech` unchanged (primitives are
+     * physical ops). The level must pass validateLevel().
+     */
+    static IonTrapParams effectiveTech(const IonTrapParams &tech,
+                                       int level);
+
+    /**
+     * One step of the latency recursion: primitives one level up,
+     * given primitives at the current level. Exposed for tests that
+     * pin the closed-form values.
+     */
+    static IonTrapParams stepUp(const IonTrapParams &tech);
+
+    /**
+     * Level-(L-1)-encoded zero ancillae consumed per *raw* level-L
+     * encoded zero block: seven for the block itself plus three for
+     * the verification cat (the Fig 4a cat state is three
+     * level-(L-1) encoded qubits at level >= 2).
+     */
+    static constexpr int subBlocksPerRawZero = 10;
+
+    /**
+     * Raw verified blocks consumed per *delivered* level-L zero: the
+     * delivered block plus the two blocks consumed as bit/phase
+     * correction ancillae (Fig 2 / the paper's divide-by-three in
+     * the Table 6 throughput derivation).
+     */
+    static constexpr int rawBlocksPerDelivered = 3;
+
+    /**
+     * Level-(L-1) encoded zeros consumed per delivered level-L
+     * encoded pi/8 ancilla, on top of one level-L zero: the
+     * seven-block cat state of the Fig 5b conversion.
+     */
+    static constexpr int subBlocksPerPi8Cat = 7;
+};
+
+} // namespace qc
+
+#endif // QC_CODES_CONCATENATED_CODE_HH

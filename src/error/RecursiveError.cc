@@ -1,0 +1,119 @@
+#include "error/RecursiveError.hh"
+
+#include "codes/ConcatenatedCode.hh"
+#include "common/Logging.hh"
+#include "error/BatchAncillaSim.hh"
+
+namespace qc {
+
+namespace {
+
+/**
+ * Probability a block move fails uncorrectably: seven concurrent
+ * sub-moves (each at `subMoveRate`, the per-sub-unit rate over the
+ * moveScalePerLevel-times longer path) must produce a weight >= 2
+ * pattern the distance-3 code cannot absorb: C(7,2) draws.
+ */
+double
+blockMoveFailureRate(double lowerMoveRate)
+{
+    const double sub =
+        ConcatenatedSteane::moveScalePerLevel * lowerMoveRate;
+    return 21.0 * sub * sub;
+}
+
+} // namespace
+
+double
+RecursiveErrorAnalysis::projectedFailureRate(int level) const
+{
+    if (level < 1 || levels.size() < 2)
+        return 0;
+    // Seed the recursion from the measured level-1 point and apply
+    // f_{l+1} = A f_l^2 upward.
+    double f = levels[1].pGate;
+    for (int l = 1; l < level; ++l)
+        f = gateAmplification * f * f;
+    return f;
+}
+
+bool
+RecursiveErrorAnalysis::belowThreshold() const
+{
+    return !levels.empty() && pseudoThreshold > 0
+        && levels[0].pGate < pseudoThreshold;
+}
+
+LevelErrorRates
+levelOneLogicalRates(const PrepEstimate &level1,
+                     const ErrorParams &physical)
+{
+    LevelErrorRates rates;
+    rates.level = 1;
+    // The QEC step after every encoded gate is only as good as its
+    // ancillae (Section 2.3): the verified-and-corrected block
+    // failure rate is the per-op logical gate rate.
+    rates.pGate = level1.errorRate();
+    rates.pMove = blockMoveFailureRate(physical.pMove);
+    return rates;
+}
+
+RecursiveErrorAnalysis
+analyzeRecursiveError(ErrorParams physical, MovementModel movement,
+                      std::uint64_t seed, std::uint64_t level1Trials,
+                      std::uint64_t level2Trials)
+{
+    if (level1Trials == 0)
+        panic("analyzeRecursiveError: level1Trials must be > 0");
+
+    RecursiveErrorAnalysis out;
+    out.levels.push_back(
+        LevelErrorRates{0, physical.pGate, physical.pMove});
+
+    // Level 1: the Section 2.3 Monte Carlo at physical rates.
+    BatchAncillaSim sim1(physical, movement, seed);
+    out.level1Prep = sim1.estimate(ZeroPrepStrategy::VerifyAndCorrect,
+                                   level1Trials);
+    out.level1AcceptRate = 1.0 - out.level1Prep.discardRate();
+    LevelErrorRates l1 =
+        levelOneLogicalRates(out.level1Prep, physical);
+    if (out.level1Prep.failures == 0) {
+        // Deep below threshold a finite run can see zero failures;
+        // a hard zero would collapse the fit and the level-2 pass.
+        // Fall back to the 95% Wilson upper bound: a conservative
+        // but non-degenerate rate.
+        l1.pGate = out.level1Prep.errorInterval().hi;
+    }
+    out.levels.push_back(l1);
+
+    // Quadratic fit: two independent faults must conspire to slip a
+    // logical error past verification + correction.
+    const double p = physical.pGate;
+    const double f1 = out.levels[1].pGate;
+    out.gateAmplification = p > 0 ? f1 / (p * p) : 0;
+    out.pseudoThreshold = out.gateAmplification > 0
+        ? 1.0 / out.gateAmplification
+        : 0;
+
+    // Level 2: re-run the self-similar schedule with level-1 rates
+    // as the "physical" rates (the two-level Monte Carlo mode).
+    LevelErrorRates l2;
+    l2.level = 2;
+    l2.pMove = blockMoveFailureRate(out.levels[1].pMove);
+    if (level2Trials > 0 && f1 > 0) {
+        ErrorParams asPhysical;
+        asPhysical.pGate = out.levels[1].pGate;
+        asPhysical.pMove = out.levels[1].pMove;
+        BatchAncillaSim sim2(asPhysical, movement, seed + 1);
+        out.level2Prep = sim2.estimate(
+            ZeroPrepStrategy::VerifyAndCorrect, level2Trials);
+        out.level2AcceptRate = 1.0 - out.level2Prep.discardRate();
+        l2.pGate = out.level2Prep.errorRate();
+    } else {
+        l2.pGate = out.gateAmplification * f1 * f1;
+    }
+    out.levels.push_back(l2);
+    return out;
+}
+
+} // namespace qc

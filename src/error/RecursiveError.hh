@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Recursive (concatenated-code) error-rate analytics: what the
+ * level-1 Monte Carlo acceptance/failure rates of Section 2.3 imply
+ * for level-2 encoded blocks.
+ *
+ * Concatenation is self-similar, so the level-2 preparation circuit
+ * is the level-1 circuit with every physical operation replaced by
+ * a level-1 encoded operation. Two consequences drive this module:
+ *
+ *  1. *Analytic recursion.* A level-1 verified-and-corrected block
+ *     fails with probability f1 ~= A * pGate^2 (two faults must
+ *     conspire; single faults are caught by the distance-3 code plus
+ *     verification). The amplification A is a property of the
+ *     circuit, not the rate, so fitting A = f1 / pGate^2 at the
+ *     measured point projects every higher level:
+ *         f_{l+1} = A * f_l^2,
+ *     with pseudo-threshold p_th = 1/A (the rate at which
+ *     re-encoding stops helping).
+ *
+ *  2. *Two-level Monte Carlo.* The same BatchAncillaSim engine
+ *     re-runs the preparation schedule with the measured level-1
+ *     logical rates standing in for the physical rates, giving an
+ *     independent level-2 estimate to cross-validate the recursion
+ *     (and the level-2 verification acceptance the factory designs
+ *     need).
+ *
+ * All rates are probabilities per operation at the stated level;
+ * trials/seeds follow the BatchAncillaSim conventions (results are
+ * bit-identical for a fixed seed regardless of thread count). Deep
+ * below threshold a finite level-1 run can observe zero failures;
+ * the analysis then substitutes the 95% Wilson upper bound for the
+ * level-1 rate so the fit and the level-2 pass stay meaningful
+ * (conservative, and clearly marked by level1Prep.failures == 0).
+ */
+
+#ifndef QC_ERROR_RECURSIVE_ERROR_HH
+#define QC_ERROR_RECURSIVE_ERROR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "error/AncillaSim.hh"
+
+namespace qc {
+
+/** Effective per-operation error rates at one recursion level. */
+struct LevelErrorRates
+{
+    int level = 0;    ///< 0 = physical ops, 1 = level-1 encoded, ...
+    double pGate = 0; ///< per gate-type op (prep/1q/2q/measure)
+    double pMove = 0; ///< per movement op (straight move or turn)
+};
+
+/** Outcome of the recursive error analysis. */
+struct RecursiveErrorAnalysis
+{
+    /** Rates per level: [0] physical, [1] level-1, [2] level-2. */
+    std::vector<LevelErrorRates> levels;
+
+    /** Fitted quadratic amplification A in f_{l+1} = A * f_l^2. */
+    double gateAmplification = 0;
+
+    /**
+     * Pseudo-threshold 1/A: the per-op rate below which each
+     * additional concatenation level suppresses the logical error.
+     */
+    double pseudoThreshold = 0;
+
+    /** Level-1 Monte Carlo (verify-and-correct, physical rates). */
+    PrepEstimate level1Prep;
+
+    /** Level-2 Monte Carlo (same schedule at level-1 rates). */
+    PrepEstimate level2Prep;
+
+    /** Per-attempt verification acceptance measured at level 1. */
+    double level1AcceptRate = 1.0;
+
+    /** Per-attempt verification acceptance measured at level 2. */
+    double level2AcceptRate = 1.0;
+
+    /** Analytic A-recursion projection of the level-l block failure
+     *  rate (level >= 1), seeded from the measured level-1 point. */
+    double projectedFailureRate(int level) const;
+
+    /** True when the physical rate sits below pseudo-threshold. */
+    bool belowThreshold() const;
+};
+
+/**
+ * Run the full analysis: level-1 Monte Carlo at the physical rates,
+ * the analytic A-fit, and the two-level Monte Carlo cross-check.
+ *
+ * @param physical     physical per-op error rates (Section 2.2)
+ * @param movement     movement charges per gate (shared by both
+ *                     levels: the factory layout is self-similar,
+ *                     with the distance growth already folded into
+ *                     the level-1 move rate)
+ * @param seed         deterministic seed for both engines
+ * @param level1Trials Monte Carlo trials at physical rates
+ * @param level2Trials Monte Carlo trials at level-1 rates (level-2
+ *                     failures are ~A f1^2, so this wants to be
+ *                     larger; 0 skips the two-level pass and leaves
+ *                     level2Prep empty with the analytic projection
+ *                     in levels[2])
+ */
+RecursiveErrorAnalysis
+analyzeRecursiveError(ErrorParams physical, MovementModel movement,
+                      std::uint64_t seed = 1,
+                      std::uint64_t level1Trials = 1 << 20,
+                      std::uint64_t level2Trials = 1 << 22);
+
+/**
+ * The effective error rates seen by level-2 circuitry, derived from
+ * a measured level-1 preparation estimate: gate rate = the level-1
+ * verified-and-corrected block failure rate; move rate = the
+ * probability a level-1 block movement (seven concurrent physical
+ * sub-moves over a moveScalePerLevel-times longer path) deposits an
+ * uncorrectable weight >= 2 pattern.
+ */
+LevelErrorRates levelOneLogicalRates(const PrepEstimate &level1,
+                                     const ErrorParams &physical);
+
+} // namespace qc
+
+#endif // QC_ERROR_RECURSIVE_ERROR_HH

@@ -1,5 +1,7 @@
 #include "factory/Allocation.hh"
 
+#include "codes/ConcatenatedCode.hh"
+
 namespace qc {
 
 FactoryAllocation
@@ -17,6 +19,39 @@ allocateForBandwidth(const ZeroFactory &zero, const Pi8Factory &pi8,
     alloc.pi8Factories = pi8_per_ms / pi8.throughput();
     // Each pi/8 ancilla consumes one encoded zero (Fig 5b).
     alloc.zeroFactoriesForPi8 = pi8_per_ms / zero.throughput();
+    return alloc;
+}
+
+FactoryAllocation
+allocateForBandwidthLevel2(const Level2ZeroFactory &zero,
+                           const Level2Pi8Factory &pi8,
+                           BandwidthPerMs zero_qec_per_ms,
+                           BandwidthPerMs pi8_per_ms)
+{
+    FactoryAllocation alloc;
+    alloc.codeLevel = 2;
+    alloc.zeroQecBandwidth = zero_qec_per_ms;
+    alloc.pi8Bandwidth = pi8_per_ms;
+    alloc.zeroFactoryArea = zero.totalArea();
+    alloc.pi8FactoryArea = pi8.totalArea();
+
+    alloc.zeroFactoriesForQec = zero_qec_per_ms / zero.throughput();
+    alloc.pi8Factories = pi8_per_ms / pi8.throughput();
+    // Each level-2 pi/8 ancilla consumes one level-2 zero (Fig 5b
+    // one level up); its seven-block cat is level-1 traffic counted
+    // below.
+    alloc.zeroFactoriesForPi8 = pi8_per_ms / zero.throughput();
+
+    // Inter-level traffic: level-1 zeros feeding the level-2 zero
+    // cascades (QEC and pi/8 chains) plus the cat states of the
+    // conversions.
+    alloc.interLevelZeroPerMs =
+        (zero_qec_per_ms + pi8_per_ms) * zero.level1ZerosPerOutput()
+        + pi8_per_ms * ConcatenatedSteane::subBlocksPerPi8Cat;
+    alloc.level1FeederFactories =
+        (alloc.zeroFactoriesForQec + alloc.zeroFactoriesForPi8)
+            * zero.level1FeederFactories()
+        + alloc.pi8Factories * pi8.level1FeederFactories();
     return alloc;
 }
 

@@ -10,6 +10,7 @@
 #ifndef QC_FACTORY_ALLOCATION_HH
 #define QC_FACTORY_ALLOCATION_HH
 
+#include "factory/ConcatenatedFactory.hh"
 #include "factory/Pi8Factory.hh"
 #include "factory/ZeroFactory.hh"
 
@@ -18,6 +19,9 @@ namespace qc {
 /** Factory counts and areas for a bandwidth requirement. */
 struct FactoryAllocation
 {
+    /** Code recursion level the ancillae are encoded at. */
+    int codeLevel = 1;
+
     /** Requested encoded-zero bandwidth for QEC (per ms). */
     BandwidthPerMs zeroQecBandwidth = 0;
     /** Requested encoded-pi/8 bandwidth (per ms). */
@@ -33,6 +37,20 @@ struct FactoryAllocation
     /** Area of a single zero / pi/8 factory (for conversions). */
     Area zeroFactoryArea = 0;
     Area pi8FactoryArea = 0;
+
+    // --- Level >= 2 only: the cascade's inter-level traffic -------
+    /**
+     * Level-1 zeros/ms crossing the concatenation boundary into the
+     * level-2 assembly and cat-feed stages (0 at level 1).
+     */
+    BandwidthPerMs interLevelZeroPerMs = 0;
+
+    /**
+     * Fractional level-1 zero factories embedded inside the level-2
+     * cascades. Informational: their area is already included in
+     * zeroFactoryArea / pi8FactoryArea.
+     */
+    double level1FeederFactories = 0;
 
     /** QEC-generation area (Table 9 column 4). */
     Area
@@ -61,6 +79,21 @@ FactoryAllocation allocateForBandwidth(const ZeroFactory &zero,
                                        const Pi8Factory &pi8,
                                        BandwidthPerMs zero_qec_per_ms,
                                        BandwidthPerMs pi8_per_ms);
+
+/**
+ * Size level-2 cascades for the given *level-2* ancilla bandwidths.
+ * Keeps the Table 9 split: zeroFactoriesForQec are whole level-2
+ * zero cascades (level-1 feeders included in their area),
+ * pi8Factories are conversion lines (cat feeders included), and
+ * zeroFactoriesForPi8 are the level-2 zero cascades feeding the
+ * conversions. interLevelZeroPerMs reports the total level-1 zero
+ * traffic crossing the concatenation boundary.
+ */
+FactoryAllocation
+allocateForBandwidthLevel2(const Level2ZeroFactory &zero,
+                           const Level2Pi8Factory &pi8,
+                           BandwidthPerMs zero_qec_per_ms,
+                           BandwidthPerMs pi8_per_ms);
 
 } // namespace qc
 

@@ -199,6 +199,9 @@ nonDefaultConfig()
     config.synth.maxError = 2e-3;
     config.synth.pureHT = true;
     config.synth.tCostWeight = 2;
+    config.codeLevel = 2;
+    config.calibrateFactories = true;
+    config.calibrationTrials = 1 << 18;
     config.tech.tmeas = usec(10);
     config.tech.tturn = usec(25);
     config.errors.pGate = 3e-4;
@@ -230,6 +233,8 @@ expectConfigsEqual(const ExperimentConfig &a,
     EXPECT_EQ(a.synth.pureHT, b.synth.pureHT);
     EXPECT_EQ(a.synth.tCostWeight, b.synth.tCostWeight);
     EXPECT_EQ(a.codeLevel, b.codeLevel);
+    EXPECT_EQ(a.calibrateFactories, b.calibrateFactories);
+    EXPECT_EQ(a.calibrationTrials, b.calibrationTrials);
     EXPECT_EQ(a.tech.t1q, b.tech.t1q);
     EXPECT_EQ(a.tech.t2q, b.tech.t2q);
     EXPECT_EQ(a.tech.tmeas, b.tech.tmeas);
@@ -411,9 +416,144 @@ TEST_F(ExperimentParity, ConfigJsonRoundTripReproducesResult)
 
 TEST(Experiment, RejectsUnsupportedCodeLevel)
 {
+    // Level 2 is modeled since the concatenation PR; level 3 must
+    // still fail loudly and name what is modeled.
     ExperimentConfig config;
-    config.codeLevel = 2;
+    config.workload = "chain";
+    config.params.bits = 4;
+    config.codeLevel = 3;
+    try {
+        runExperiment(config);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3"), std::string::npos);
+        EXPECT_NE(what.find("level"), std::string::npos);
+    }
+    config.codeLevel = 0;
     EXPECT_THROW(runExperiment(config), std::invalid_argument);
+    config.codeLevel = -1;
+    EXPECT_THROW(runExperiment(config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// Level-2 concatenation through the facade.
+// ---------------------------------------------------------------
+
+class Level2Experiment : public ::testing::Test
+{
+  protected:
+    static ExperimentConfig
+    baseConfig()
+    {
+        ExperimentConfig config = ExperimentConfig::paper("qrca");
+        config.params.bits = 6;
+        return config;
+    }
+};
+
+TEST_F(Level2Experiment, SpeedOfDataSelfConsistency)
+{
+    ExperimentConfig config = baseConfig();
+    Experiment experiment(config);
+    const Result l1 = experiment.run(config);
+
+    ExperimentConfig level2 = config;
+    level2.codeLevel = 2;
+    const Result l2 = experiment.run(level2);
+
+    EXPECT_EQ(l1.codeLevel, 1);
+    EXPECT_EQ(l2.codeLevel, 2);
+    // Same circuit either way; level-2 ops are strictly slower.
+    EXPECT_EQ(l2.gates, l1.gates);
+    EXPECT_GT(l2.makespan, l1.makespan);
+    EXPECT_GT(l2.split.qecInteract, l1.split.qecInteract);
+    // Ancilla *counts* are level-independent (two zeros per QEC
+    // step, one pi/8 per T), but the stretched runtime lowers the
+    // per-ms bandwidth.
+    EXPECT_EQ(l2.zerosConsumed, l1.zerosConsumed);
+    EXPECT_LT(l2.bandwidth.zeroPerMs(), l1.bandwidth.zeroPerMs());
+    // Factory area per delivered bandwidth explodes with the level;
+    // even at the lower demand the total area lands in a
+    // paper-plausible band above level 1.
+    const double areaRatio = l2.allocation.totalArea()
+        / l1.allocation.totalArea();
+    EXPECT_GT(areaRatio, 2.0);
+    EXPECT_LT(areaRatio, 200.0);
+    // Inter-level traffic only exists at level 2.
+    EXPECT_DOUBLE_EQ(l1.allocation.interLevelZeroPerMs, 0.0);
+    EXPECT_GT(l2.allocation.interLevelZeroPerMs,
+              l2.bandwidth.zeroPerMs());
+}
+
+TEST_F(Level2Experiment, ArchRunsSucceedOnQlaAndCqla)
+{
+    ExperimentConfig config = baseConfig();
+    Experiment experiment(config);
+    for (const char *arch : {"qla", "cqla"}) {
+        ExperimentConfig l1 = config;
+        l1.schedule = ScheduleMode::Arch;
+        l1.arch = arch;
+        ExperimentConfig l2 = l1;
+        l2.codeLevel = 2;
+        const Result r1 = experiment.run(l1);
+        const Result r2 = experiment.run(l2);
+        EXPECT_GT(r2.makespan, r1.makespan) << arch;
+        EXPECT_GT(r2.archRun.ancillaArea, r1.archRun.ancillaArea)
+            << arch;
+        EXPECT_EQ(r2.gatesExecuted, r2.gates) << arch;
+        EXPECT_GT(r2.klops(), 0.0) << arch;
+    }
+}
+
+TEST_F(Level2Experiment, ResultJsonGatesLevelKeys)
+{
+    ExperimentConfig config = baseConfig();
+    Experiment experiment(config);
+    const Json j1 = experiment.run(config).toJson();
+    // Level-1 serialization stays byte-compatible with PR 2: no
+    // level keys appear.
+    EXPECT_FALSE(j1.has("code_level"));
+    EXPECT_FALSE(j1.at("factories").has("inter_level_zero_per_ms"));
+
+    ExperimentConfig level2 = config;
+    level2.codeLevel = 2;
+    const Json j2 = experiment.run(level2).toJson();
+    EXPECT_EQ(j2.at("code_level").asInt(), 2);
+    EXPECT_GT(j2.at("factories")
+                  .at("inter_level_zero_per_ms")
+                  .asDouble(),
+              0.0);
+    EXPECT_GT(j2.at("factories")
+                  .at("level1_feeder_factories")
+                  .asDouble(),
+              0.0);
+}
+
+TEST(Experiment, CalibrationPassResizesFactoriesOnly)
+{
+    ExperimentConfig config;
+    config.workload = "chain";
+    config.params.bits = 6;
+    const Result plain = runExperiment(config);
+
+    ExperimentConfig calibrated = config;
+    calibrated.calibrateFactories = true;
+    calibrated.calibrationTrials = 1 << 16;
+    const Result mc = runExperiment(calibrated);
+
+    // The schedule itself is untouched (speed of data has no
+    // factory in the loop)...
+    EXPECT_EQ(mc.makespan, plain.makespan);
+    EXPECT_EQ(mc.zerosConsumed, plain.zerosConsumed);
+    // ...but the factory sizing tracks the measured acceptance
+    // instead of the Table 6 constant, so the allocation shifts
+    // (slightly: the measured rate is near 0.998) while staying in
+    // the same band.
+    EXPECT_GT(mc.allocation.zeroFactoriesForQec, 0.0);
+    EXPECT_NEAR(mc.allocation.zeroFactoriesForQec,
+                plain.allocation.zeroFactoriesForQec,
+                0.2 * plain.allocation.zeroFactoriesForQec);
 }
 
 TEST(Experiment, VariantMustDescribeSameWorkload)

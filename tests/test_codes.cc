@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
+#include "codes/ConcatenatedCode.hh"
 #include "codes/EncodedOp.hh"
 #include "codes/SteaneCode.hh"
 #include "kernels/StateVector.hh"
@@ -351,6 +355,95 @@ TEST_F(EncodedOpTest, SymbolicInAlternativeTechnology)
     EncodedOpModel m(fast);
     EXPECT_EQ(m.qecInteractLatency(), usec(122));
     EXPECT_EQ(m.dataLatency(gate1(GateKind::H)), usec(2));
+}
+
+// ---------------------------------------------------------------
+// Recursive concatenation (ConcatenatedSteane). Closed-form values
+// under the paper's Table 1/4 technology point.
+// ---------------------------------------------------------------
+
+TEST(ConcatenatedSteane, LevelValidation)
+{
+    EXPECT_NO_THROW(ConcatenatedSteane::validateLevel(1));
+    EXPECT_NO_THROW(ConcatenatedSteane::validateLevel(2));
+    EXPECT_THROW(ConcatenatedSteane::validateLevel(0),
+                 std::invalid_argument);
+    EXPECT_THROW(ConcatenatedSteane::validateLevel(3),
+                 std::invalid_argument);
+    try {
+        ConcatenatedSteane::validateLevel(3);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The error must name the offending level and what is
+        // modeled, so sweep configs fail loudly and clearly.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3"), std::string::npos);
+        EXPECT_NE(what.find("level"), std::string::npos);
+    }
+}
+
+TEST(ConcatenatedSteane, FootprintsGrowGeometrically)
+{
+    EXPECT_EQ(ConcatenatedSteane::physicalQubits(1), 7);
+    EXPECT_EQ(ConcatenatedSteane::physicalQubits(2), 49);
+    EXPECT_EQ(ConcatenatedSteane::tileArea(1), 1.0);
+    EXPECT_EQ(ConcatenatedSteane::tileArea(2),
+              static_cast<Area>(
+                  ConcatenatedSteane::areaScalePerLevel));
+}
+
+TEST(ConcatenatedSteane, LevelOneEffectiveTechIsPhysical)
+{
+    const IonTrapParams tech = IonTrapParams::paper();
+    const IonTrapParams eff =
+        ConcatenatedSteane::effectiveTech(tech, 1);
+    EXPECT_EQ(eff.t1q, tech.t1q);
+    EXPECT_EQ(eff.t2q, tech.t2q);
+    EXPECT_EQ(eff.tmeas, tech.tmeas);
+    EXPECT_EQ(eff.tprep, tech.tprep);
+    EXPECT_EQ(eff.tmove, tech.tmove);
+    EXPECT_EQ(eff.tturn, tech.tturn);
+}
+
+TEST(ConcatenatedSteane, LevelTwoEffectiveTechClosedForm)
+{
+    // One recursion step under Table 1/4: qec(1) = 61 us, so
+    // t1q(2) = 1 + 61, t2q(2) = 10 + 61; measurement is transversal
+    // (decode is classical); a fresh level-1 zero is the full
+    // Fig 4c rebuild (264 us); moves scale with the tile.
+    const IonTrapParams eff = ConcatenatedSteane::effectiveTech(
+        IonTrapParams::paper(), 2);
+    EXPECT_EQ(eff.t1q, usec(62));
+    EXPECT_EQ(eff.t2q, usec(71));
+    EXPECT_EQ(eff.tmeas, usec(50));
+    EXPECT_EQ(eff.tprep, usec(264));
+    EXPECT_EQ(eff.tmove,
+              ConcatenatedSteane::moveScalePerLevel * usec(1));
+    EXPECT_EQ(eff.tturn, usec(10));
+}
+
+TEST(ConcatenatedSteane, LevelTwoEncodedOpModelComposes)
+{
+    // EncodedOpModel over the effective tech prices level-2 ops
+    // with its unmodified formulas: qec(2) = 71 + 50 + 62 = 183 us,
+    // and the level-2 zero prep is the Fig 4c schedule at level-2
+    // latencies: 264 + 62 + 3*71 + (71+50) + 2*183 = 1026 us.
+    const EncodedOpModel m2(ConcatenatedSteane::effectiveTech(
+        IonTrapParams::paper(), 2));
+    EXPECT_EQ(m2.qecInteractLatency(), usec(183));
+    EXPECT_EQ(m2.zeroPrepLatency(), usec(1026));
+    EXPECT_GT(m2.pi8PrepLatency(), m2.zeroPrepLatency());
+}
+
+TEST(ConcatenatedSteane, StepUpIsMonotoneInEveryLatency)
+{
+    const IonTrapParams t1 = IonTrapParams::paper();
+    const IonTrapParams t2 = ConcatenatedSteane::stepUp(t1);
+    EXPECT_GT(t2.t1q, t1.t1q);
+    EXPECT_GT(t2.t2q, t1.t2q);
+    EXPECT_GE(t2.tmeas, t1.tmeas);
+    EXPECT_GT(t2.tprep, t1.tprep);
+    EXPECT_GT(t2.tmove, t1.tmove);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include "factory/Allocation.hh"
 #include "factory/Cascade.hh"
+#include "factory/ConcatenatedFactory.hh"
 #include "factory/FunctionalUnit.hh"
 #include "factory/Pi8Factory.hh"
 #include "factory/ZeroFactory.hh"
@@ -377,6 +378,118 @@ TEST(Cascade, WorstCaseGrowsLinearly)
               3 * usec(61));
     EXPECT_EQ(CascadeModel::worstCaseDataLatency(10, tech),
               8 * usec(61));
+}
+
+// ---------------------------------------------------------------
+// FactoryCascade sizing and the level-2 concatenated factories.
+// ---------------------------------------------------------------
+
+TEST(FactoryCascade, SizesStagesByInputsPerOutput)
+{
+    // A toy two-stage chain: bottom units deliver 10/ms, the top
+    // stage consumes 5 bottom items per output and delivers 2/ms
+    // per unit.
+    CascadeStage bottom{"bottom", 10.0, 0.0, 100.0, usec(10)};
+    CascadeStage top{"top", 2.0, 5.0, 40.0, usec(30)};
+    const FactoryCascade cascade({bottom, top});
+
+    EXPECT_DOUBLE_EQ(cascade.boundaryBandwidth(1, 4.0), 4.0);
+    EXPECT_DOUBLE_EQ(cascade.boundaryBandwidth(0, 4.0), 20.0);
+    const std::vector<double> units = cascade.unitsFor(4.0);
+    ASSERT_EQ(units.size(), 2u);
+    EXPECT_DOUBLE_EQ(units[0], 2.0); // 20/ms over 10/ms units
+    EXPECT_DOUBLE_EQ(units[1], 2.0); // 4/ms over 2/ms units
+    EXPECT_DOUBLE_EQ(cascade.areaFor(4.0), 2.0 * 100 + 2.0 * 40);
+    EXPECT_EQ(cascade.fillLatency(), usec(40));
+}
+
+class Level2FactoryTest : public ::testing::Test
+{
+  protected:
+    Level2ZeroFactory zero_{IonTrapParams::paper()};
+    Level2Pi8Factory pi8_{IonTrapParams::paper()};
+    ZeroFactory l1_{IonTrapParams::paper()};
+};
+
+TEST_F(Level2FactoryTest, ThroughputBelowLevelOne)
+{
+    // A delivered level-2 zero embeds three verified raw blocks of
+    // ten level-1 zeros each: the cascade is necessarily slower per
+    // line and hungrier per output than the level-1 design.
+    EXPECT_GT(zero_.throughput(), 0);
+    EXPECT_LT(zero_.throughput(), l1_.throughput());
+    EXPECT_NEAR(zero_.level1ZerosPerOutput(),
+                30.0 / zero_.acceptRate(), 1e-9);
+}
+
+TEST_F(Level2FactoryTest, InterLevelBandwidthIsConsistent)
+{
+    EXPECT_NEAR(zero_.level1InputBandwidth(),
+                zero_.throughput() * zero_.level1ZerosPerOutput(),
+                1e-9);
+    EXPECT_NEAR(zero_.level1FeederFactories(),
+                zero_.level1InputBandwidth() / l1_.throughput(),
+                1e-9);
+}
+
+TEST_F(Level2FactoryTest, AreaDominatedByFeeders)
+{
+    // Keeping one assembly line saturated takes several pipelined
+    // level-1 factories; their area dwarfs the assembly line's.
+    EXPECT_GT(zero_.level1FeederFactories(), 1.0);
+    EXPECT_GT(zero_.feederArea(), zero_.assemblyArea());
+    EXPECT_NEAR(zero_.totalArea(),
+                zero_.feederArea() + zero_.assemblyArea(), 1e-9);
+    // Area per delivered bandwidth grows steeply with the level.
+    const double costL1 = l1_.totalArea() / l1_.throughput();
+    const double costL2 = zero_.totalArea() / zero_.throughput();
+    EXPECT_GT(costL2, 5.0 * costL1);
+    EXPECT_LT(costL2, 500.0 * costL1);
+}
+
+TEST_F(Level2FactoryTest, LatencyExceedsLevelOneFill)
+{
+    EXPECT_GT(zero_.latency(), l1_.latency());
+    EXPECT_GT(pi8_.latency(), 0);
+}
+
+TEST_F(Level2FactoryTest, Pi8ConsumesSevenCatBlocksPerOutput)
+{
+    EXPECT_NEAR(pi8_.level1InputBandwidth(),
+                7.0 * pi8_.throughput(), 1e-9);
+    EXPECT_DOUBLE_EQ(pi8_.level2ZeroInputBandwidth(),
+                     pi8_.throughput());
+    EXPECT_GT(pi8_.feederArea(), 0);
+}
+
+TEST(Level2Allocation, TracksInterLevelTraffic)
+{
+    const Level2ZeroFactory zero;
+    const Level2Pi8Factory pi8;
+    const FactoryAllocation alloc =
+        allocateForBandwidthLevel2(zero, pi8, 10.0, 2.0);
+    EXPECT_EQ(alloc.codeLevel, 2);
+    EXPECT_NEAR(alloc.zeroFactoriesForQec,
+                10.0 / zero.throughput(), 1e-9);
+    EXPECT_NEAR(alloc.pi8Factories, 2.0 / pi8.throughput(), 1e-9);
+    EXPECT_NEAR(alloc.zeroFactoriesForPi8,
+                2.0 / zero.throughput(), 1e-9);
+    // Inter-level traffic: both level-2 zero chains plus the cats.
+    EXPECT_NEAR(alloc.interLevelZeroPerMs,
+                12.0 * zero.level1ZerosPerOutput() + 2.0 * 7.0,
+                1e-9);
+    EXPECT_GT(alloc.level1FeederFactories, 0);
+    EXPECT_GT(alloc.totalArea(), 0);
+}
+
+TEST(Level2Allocation, LevelOneAllocationUnchanged)
+{
+    // The level-1 path must not pick up level-2 fields.
+    const FactoryAllocation alloc = allocateForBandwidth(
+        ZeroFactory(), Pi8Factory(), 45.0, 10.0);
+    EXPECT_EQ(alloc.codeLevel, 1);
+    EXPECT_DOUBLE_EQ(alloc.interLevelZeroPerMs, 0.0);
+    EXPECT_DOUBLE_EQ(alloc.level1FeederFactories, 0.0);
 }
 
 } // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check intra-repository markdown links.
+
+Walks every *.md file in the repository (skipping build trees and
+VCS metadata), extracts inline links and images, and verifies that
+every relative target resolves to an existing file or directory.
+External links (http/https/mailto) and pure in-page anchors are
+skipped — this guards the docs site's internal wiring, not the
+internet.
+
+Exit status: 0 when all links resolve, 1 otherwise (each broken
+link is reported as file:line: target).
+
+Usage: tools/check_md_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIR_NAMES = {".git", "node_modules", "__pycache__"}
+
+
+def skip_dir(name):
+    # Any build tree (build/, build-asan/, cmake-build-debug/, ...)
+    # may contain vendored markdown whose links are not ours to fix.
+    return (name in SKIP_DIR_NAMES or name.startswith("build")
+            or name.startswith("cmake-build"))
+
+# Inline links/images: [text](target) / ![alt](target). Targets may
+# carry a #fragment and an optional "title".
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+# Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if not skip_dir(d)]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(
+                        ("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(os.path.join(
+                    os.path.dirname(path),
+                    target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    broken.append((rel, lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1 else
+        os.path.join(os.path.dirname(__file__), os.pardir))
+    files = list(markdown_files(root))
+    broken = []
+    for path in files:
+        broken.extend(check_file(path, root))
+    for rel, lineno, target in broken:
+        print(f"{rel}:{lineno}: broken link -> {target}")
+    print(f"checked {len(files)} markdown files, "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
