@@ -2,82 +2,26 @@
  * @file
  * Figure 15: execution time as a function of total ancilla-factory
  * area for the five microarchitectures — QLA and CQLA (the k = 1
- * points of their generalized forms), GQLA and GCQLA (k parallel
- * generators per site), and Fully-Multiplexed ancilla distribution
- * (Qalypso's organization) — all driven through the qc::Experiment
- * facade and the ArchModel registry.
+ * points of their generalized forms), GQLA and GCQLA (a zipped
+ * (arch, generatorsPerSite) axis), and Fully-Multiplexed over a
+ * factory-area-budget axis — declared as specs/fig15_arch.json and
+ * executed by the shared parallel sweep engine.
  *
  * Expected shapes (paper Section 5.2): Fully-Multiplexed reaches
- * near-optimal execution at far smaller area; GQLA needs orders of
- * magnitude more area to match and plateaus at a similar level;
- * GCQLA plateaus half an order to an order of magnitude higher due
- * to cache misses.
+ * near-optimal execution ("slowdown" ~ 1) at far smaller
+ * "ancilla_area"; GQLA needs orders of magnitude more area to
+ * match; GCQLA plateaus half an order to an order of magnitude
+ * higher due to cache misses ("miss_rate").
+ *
+ * Usage: bench_fig15_arch_comparison [threads=T] [spec=PATH]
+ *        [out=PATH]
  */
 
-#include <iostream>
-
 #include "BenchCommon.hh"
-#include "common/Table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace qc;
-
-    for (const Workload &b : bench::paperBenchmarks()) {
-        ExperimentConfig base = ExperimentConfig::paper(b.key);
-        base.schedule = ScheduleMode::Arch;
-        Experiment experiment(base, b);
-
-        const Result ideal = [&] {
-            ExperimentConfig c = base;
-            c.schedule = ScheduleMode::SpeedOfData;
-            return experiment.run(c);
-        }();
-        const Area data_area = 7.0 * ideal.qubits;
-
-        bench::section("Figure 15: " + b.name + " (data qubit area "
-                       + fmtFixed(data_area, 0) + " macroblocks; "
-                       + "speed-of-data "
-                       + fmtFixed(toMs(ideal.makespan), 2) + " ms)");
-
-        TextTable t;
-        t.header({"Microarch", "k / budget", "Factory Area",
-                  "Exec (ms)", "x optimal", "miss rate"});
-
-        auto runOne = [&](const std::string &arch, int k,
-                          Area budget, const std::string &label) {
-            ExperimentConfig c = base;
-            c.arch = arch;
-            c.generatorsPerSite = k;
-            c.areaBudget = budget;
-            c.cacheSlots = 24;
-            const Result r = experiment.run(c);
-            t.row({r.arch, label,
-                   fmtFixed(r.archRun.ancillaArea, 0),
-                   fmtFixed(toMs(r.makespan), 2),
-                   fmtFixed(r.slowdown(), 2),
-                   r.archRun.cacheAccesses
-                       ? fmtPct(r.archRun.missRate())
-                       : "-"});
-        };
-
-        // QLA / GQLA sweep over generators per data qubit.
-        runOne("qla", 1, 0, "k=1");
-        for (int k : {2, 4, 8, 16, 32})
-            runOne("gqla", k, 0, "k=" + std::to_string(k));
-
-        // CQLA / GCQLA sweep over generators per cache slot.
-        runOne("cqla", 1, 0, "k=1");
-        for (int k : {2, 4, 8, 16, 32})
-            runOne("gcqla", k, 0, "k=" + std::to_string(k));
-
-        // Fully multiplexed sweep over factory-area budget.
-        for (Area budget : {250.0, 500.0, 1000.0, 2000.0, 4000.0,
-                            8000.0, 16000.0, 64000.0}) {
-            runOne("fma", 1, budget, fmtFixed(budget, 0) + " MB");
-        }
-        t.print(std::cout);
-    }
-    return 0;
+    return qc::bench::runSweepBench(argc, argv, "fig15_arch.json",
+                                    "BENCH_fig15_arch.json");
 }

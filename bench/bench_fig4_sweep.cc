@@ -1,123 +1,21 @@
 /**
  * @file
  * (pGate, pMove) grid sweep of the encoded-zero preparation error
- * rates on the bit-parallel batched Monte Carlo engine
- * (BatchAncillaSim) — the ROADMAP follow-up to Figure 4: now that a
- * single Figure 4 point costs a fraction of a second, the whole
- * error-rate plane is one bench run.
- *
- * Sweeps a log-spaced grid around the paper's operating point
- * (pGate = 1e-4, pMove = 1e-6, marked "paper_point": true) for the
- * Basic and VerifyAndCorrect strategies and writes every point to
- * BENCH_fig4_sweep.json for the machine-readable trajectory.
+ * rates on the bit-parallel batched Monte Carlo engine — the
+ * Figure 4 error-rate plane, declared as specs/fig4_grid.json and
+ * executed by the shared parallel sweep engine. `qcarch sweep
+ * specs/fig4_grid.json` is the identical computation.
  *
  * Usage: bench_fig4_sweep [trials=N] [seed=S] [threads=T]
- *        [out=PATH]   (threads=0 = all hardware threads)
+ *        [spec=PATH] [out=PATH]   (threads=0 = all cores)
  */
 
-#include <chrono>
-#include <iostream>
-#include <string>
-
 #include "BenchCommon.hh"
-#include "common/Table.hh"
-#include "error/BatchAncillaSim.hh"
-#include "layout/Builders.hh"
-
-using namespace qc;
-using Clock = std::chrono::steady_clock;
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t trials =
-        bench::argValue(argc, argv, "trials", 400000);
-    const std::uint64_t seed =
-        bench::argValue(argc, argv, "seed", 20080623);
-    const std::string out = bench::argString(
-        argc, argv, "out", "BENCH_fig4_sweep.json");
-    BatchSimConfig config;
-    config.threads = static_cast<int>(
-        bench::argValue(argc, argv, "threads", 0));
-
-    // Movement charges calibrated from the routed Fig 11 layout.
-    const MovementModel movement = calibrateMovement(
-        buildSimpleFactory(), IonTrapParams::paper());
-
-    const double pGates[] = {1e-5, 3e-5, 1e-4, 3e-4, 1e-3};
-    const double pMoves[] = {1e-7, 1e-6, 1e-5};
-    const struct
-    {
-        ZeroPrepStrategy strategy;
-        const char *key;
-    } strategies[] = {
-        {ZeroPrepStrategy::Basic, "basic"},
-        {ZeroPrepStrategy::VerifyAndCorrect, "verify_and_correct"},
-    };
-
-    Json points = Json::array();
-    const auto t0 = Clock::now();
-
-    for (const auto &s : strategies) {
-        bench::section(std::string("Figure 4 sweep: ")
-                       + zeroPrepStrategyName(s.strategy) + " ("
-                       + std::to_string(trials) + " trials/point)");
-        TextTable t;
-        t.header({"pGate", "pMove", "Error Rate", "95% CI",
-                  "Verify Fail"});
-        for (double pGate : pGates) {
-            for (double pMove : pMoves) {
-                ErrorParams errors;
-                errors.pGate = pGate;
-                errors.pMove = pMove;
-                BatchAncillaSim sim(
-                    errors, movement, seed,
-                    CorrectionSemantics::DiscardOnSyndrome, config);
-                const PrepEstimate est =
-                    sim.estimate(s.strategy, trials);
-                const Interval ci = est.errorInterval();
-                t.row({fmtSci(pGate, 0), fmtSci(pMove, 0),
-                       fmtSci(est.errorRate(), 2),
-                       "[" + fmtSci(ci.lo, 1) + ", "
-                           + fmtSci(ci.hi, 1) + "]",
-                       fmtPct(est.discardRate(), 2)});
-
-                Json point = Json::object();
-                point.set("strategy", s.key);
-                point.set("pGate", pGate);
-                point.set("pMove", pMove);
-                point.set("paper_point",
-                          pGate == 1e-4 && pMove == 1e-6);
-                point.set("error_rate", est.errorRate());
-                point.set("ci_lo", ci.lo);
-                point.set("ci_hi", ci.hi);
-                point.set("verify_fail_rate", est.discardRate());
-                point.set("trials", est.trials);
-                points.push(point);
-            }
-        }
-        t.print(std::cout);
-    }
-
-    const double secs =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-
-    Json doc = Json::object();
-    doc.set("engine", "BatchAncillaSim");
-    doc.set("semantics", "discard_on_syndrome");
-    doc.set("trials_per_point", trials);
-    doc.set("seed", seed);
-    doc.set("grid_points", points.size());
-    doc.set("wall_seconds", secs);
-    doc.set("points", points);
-
-    try {
-        doc.saveFile(out);
-    } catch (const std::invalid_argument &e) {
-        std::cerr << e.what() << "\n";
-        return 1;
-    }
-    std::cout << "\nwrote " << points.size() << " grid points to "
-              << out << " in " << fmtFixed(secs, 1) << " s\n";
-    return 0;
+    return qc::bench::runSweepBench(
+        argc, argv, "fig4_grid.json", "BENCH_fig4_sweep.json",
+        {{"trials", "trials"}, {"seed", "seed"}});
 }

@@ -1,67 +1,23 @@
 /**
  * @file
  * Figure 8: circuit execution time as a function of a steady
- * encoded-zero ancilla throughput, for each benchmark. The paper's
- * vertical reference line is the Table 3 average bandwidth; the
- * curve should fall steeply up to roughly that point and flatten at
- * the speed-of-data runtime beyond it.
+ * encoded-zero ancilla throughput, for each benchmark — declared as
+ * specs/fig8_throughput.json (the "zeroPerMsOfAverage" axis sweeps
+ * multiples of each workload's own Table 3 average bandwidth) and
+ * executed by the shared parallel sweep engine. The curve falls
+ * steeply up to roughly the average-bandwidth line and flattens at
+ * the speed-of-data runtime beyond it ("slowdown" per point).
+ *
+ * Usage: bench_fig8_throughput_sweep [threads=T] [spec=PATH]
+ *        [out=PATH]
  */
 
-#include <cmath>
-#include <iostream>
-
 #include "BenchCommon.hh"
-#include "arch/SpeedOfData.hh"
-#include "arch/ThrottledRun.hh"
-#include "circuit/Dataflow.hh"
-#include "common/Table.hh"
-#include "factory/ZeroFactory.hh"
-#include "layout/Builders.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace qc;
-
-    const EncodedOpModel model(IonTrapParams::paper());
-
-    // Each sweep point is also priced in factories: the pipelined
-    // zero factory sized with the Monte Carlo-measured acceptance
-    // (batched Pauli-frame engine) rather than the hard-coded
-    // Section 2.3 constant.
-    const ZeroFactory factory = bench::calibratedZeroFactory();
-    // Sweep each benchmark over multiples of its average bandwidth.
-    const double fractions[] = {0.125, 0.25, 0.5, 0.75, 1.0,
-                                1.5,   2.0,  3.0, 5.0,  10.0};
-
-    for (const Workload &b : bench::paperBenchmarks()) {
-        const DataflowGraph graph(b.lowered.circuit);
-        const BandwidthSummary bw =
-            bandwidthAtSpeedOfData(graph, model);
-
-        bench::section("Figure 8: " + b.name);
-        std::cout << "average bandwidth "
-                  << fmtFixed(bw.zeroPerMs(), 1)
-                  << " /ms (vertical line in the paper); speed-of-"
-                     "data runtime "
-                  << fmtFixed(toMs(bw.runtime), 2) << " ms\n";
-
-        TextTable t;
-        t.header({"throughput (/ms)", "x avg", "exec time (ms)",
-                  "slowdown vs optimal", "factories"});
-        for (double f : fractions) {
-            const double rate = bw.zeroPerMs() * f;
-            const ThrottledResult run =
-                throttledRun(graph, model, rate);
-            t.row({fmtFixed(rate, 1), fmtFixed(f, 3),
-                   fmtFixed(toMs(run.makespan), 2),
-                   fmtFixed(static_cast<double>(run.makespan)
-                                / static_cast<double>(bw.runtime),
-                            2),
-                   std::to_string(static_cast<int>(std::ceil(
-                       rate / factory.throughput())))});
-        }
-        t.print(std::cout);
-    }
-    return 0;
+    return qc::bench::runSweepBench(argc, argv,
+                                    "fig8_throughput.json",
+                                    "BENCH_fig8_throughput.json");
 }

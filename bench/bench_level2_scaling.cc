@@ -1,164 +1,23 @@
 /**
  * @file
  * Level-1 vs level-2 concatenated [[7,1,3]] scaling study: the
- * Table 2 (latency split), Table 3 (ancilla bandwidth) and Table 9
- * (factory area) analogs at code level 2, plus makespan/KLOPS/area
- * under the QLA and CQLA microarchitectures at both levels.
+ * Table 2/3/9 analogs at both code levels plus makespan/KLOPS/area
+ * under the QLA and CQLA microarchitectures — declared as
+ * specs/level2_scaling.json (a speed-of-data grid and an arch grid
+ * over the codeLevel axis) and executed by the shared parallel
+ * sweep engine.
  *
- * Every row is one qc::runExperiment call — the level is just the
- * ExperimentConfig::codeLevel knob — so the study doubles as the
- * end-to-end exercise of the recursive duration, error and factory
- * cascade models. Results land in BENCH_level2.json.
- *
- * Usage: bench_level2_scaling [bits=N] [out=PATH]
+ * Usage: bench_level2_scaling [bits=N] [threads=T] [spec=PATH]
+ *        [out=PATH]
  */
 
-#include <chrono>
-#include <iostream>
-#include <string>
-#include <vector>
-
 #include "BenchCommon.hh"
-#include "codes/ConcatenatedCode.hh"
-#include "common/Table.hh"
-
-using namespace qc;
-using Clock = std::chrono::steady_clock;
-
-namespace {
-
-Json
-runJson(const Result &r)
-{
-    Json j = Json::object();
-    j.set("schedule", r.schedule);
-    if (!r.arch.empty())
-        j.set("arch", r.arch);
-    j.set("code_level", r.codeLevel);
-    j.set("makespan_ms", toMs(r.makespan));
-    j.set("klops", r.klops());
-    j.set("factory_area", r.allocation.totalArea());
-    if (r.schedule == "arch")
-        j.set("ancilla_area", r.archRun.ancillaArea);
-    j.set("zero_per_ms", r.bandwidth.zeroPerMs());
-    j.set("pi8_per_ms", r.bandwidth.pi8PerMs());
-    j.set("inter_level_zero_per_ms",
-          r.allocation.interLevelZeroPerMs);
-    return j;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    const int bits = static_cast<int>(
-        bench::argValue(argc, argv, "bits", 16));
-    const std::string out = bench::argString(
-        argc, argv, "out", "BENCH_level2.json");
-    const char *workloads[] = {"qrca", "qft"};
-    const char *archs[] = {"qla", "cqla"};
-
-    Json runs = Json::array();
-    const auto t0 = Clock::now();
-
-    for (const char *name : workloads) {
-        ExperimentConfig base = ExperimentConfig::paper(name);
-        base.params.bits = bits;
-        Experiment experiment(base);
-
-        // Speed-of-data analytics per level: the Table 2/3/9
-        // analogs.
-        bench::section(std::string(name) + " ("
-                       + std::to_string(bits)
-                       + " bits): Table 2/3/9 analogs by level");
-        TextTable analog;
-        analog.header({"Level", "DataOp us", "QEC us", "Prep us",
-                       "SoD ms", "Zero/ms", "Pi8/ms", "L1->L2 /ms",
-                       "Factory mb"});
-        std::vector<Result> sod;
-        for (int level = 1;
-             level <= ConcatenatedSteane::maxModeledLevel; ++level) {
-            ExperimentConfig c = base;
-            c.codeLevel = level;
-            const Result r = experiment.run(c);
-            analog.row({std::to_string(level),
-                        fmtFixed(toUs(r.split.dataOp), 0),
-                        fmtFixed(toUs(r.split.qecInteract), 0),
-                        fmtFixed(toUs(r.split.ancillaPrep), 0),
-                        fmtFixed(toMs(r.makespan), 2),
-                        fmtFixed(r.bandwidth.zeroPerMs(), 1),
-                        fmtFixed(r.bandwidth.pi8PerMs(), 1),
-                        fmtFixed(r.allocation.interLevelZeroPerMs,
-                                 1),
-                        fmtFixed(r.allocation.totalArea(), 0)});
-            Json j = runJson(r);
-            j.set("workload", name);
-            j.set("bits", bits);
-            runs.push(j);
-            sod.push_back(r);
-        }
-        analog.print(std::cout);
-
-        // Microarchitecture runs per level.
-        bench::section(std::string(name)
-                       + ": QLA / CQLA makespan by level");
-        TextTable archTable;
-        archTable.header({"Arch", "Level", "Makespan ms", "KLOPS",
-                          "Ancilla mb", "Slowdown vs SoD"});
-        for (const char *arch : archs) {
-            for (int level = 1;
-                 level <= ConcatenatedSteane::maxModeledLevel;
-                 ++level) {
-                ExperimentConfig c = base;
-                c.codeLevel = level;
-                c.schedule = ScheduleMode::Arch;
-                c.arch = arch;
-                const Result r = experiment.run(c);
-                archTable.row(
-                    {r.arch, std::to_string(level),
-                     fmtFixed(toMs(r.makespan), 2),
-                     fmtFixed(r.klops(), 1),
-                     fmtFixed(r.archRun.ancillaArea, 0),
-                     fmtFixed(r.slowdown(), 2)});
-                Json j = runJson(r);
-                j.set("workload", name);
-                j.set("bits", bits);
-                runs.push(j);
-            }
-        }
-        archTable.print(std::cout);
-
-        const double makespanRatio = sod[0].makespan > 0
-            ? static_cast<double>(sod[1].makespan)
-                / static_cast<double>(sod[0].makespan)
-            : 0;
-        const double areaRatio = sod[0].allocation.totalArea() > 0
-            ? sod[1].allocation.totalArea()
-                / sod[0].allocation.totalArea()
-            : 0;
-        std::cout << "\nlevel-2/level-1 at speed of data: makespan x"
-                  << fmtFixed(makespanRatio, 2) << ", factory area x"
-                  << fmtFixed(areaRatio, 1) << "\n";
-    }
-
-    const double secs =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-
-    Json doc = Json::object();
-    doc.set("bench", "level2_scaling");
-    doc.set("bits", bits);
-    doc.set("max_level", ConcatenatedSteane::maxModeledLevel);
-    doc.set("wall_seconds", secs);
-    doc.set("runs", runs);
-
-    try {
-        doc.saveFile(out);
-    } catch (const std::invalid_argument &e) {
-        std::cerr << e.what() << "\n";
-        return 1;
-    }
-    std::cout << "\nwrote " << runs.size() << " runs to " << out
-              << " in " << fmtFixed(secs, 1) << " s\n";
-    return 0;
+    return qc::bench::runSweepBench(argc, argv,
+                                    "level2_scaling.json",
+                                    "BENCH_level2.json",
+                                    {{"bits", "bits"}});
 }

@@ -2,20 +2,30 @@
  * @file
  * Machine-readable Monte Carlo engine baseline: times the scalar
  * reference engine against the bit-parallel batched engine on the
- * Figure 4 workloads and writes the trial rates and speedups to
- * BENCH_mc_engine.json, so future PRs can track the trajectory of
- * the simulation hot path without parsing human-oriented tables.
+ * Figure 4 workloads, measures multicore thread scaling of both
+ * the batched engine and the sweep engine, and writes everything
+ * to BENCH_mc_engine.json so future PRs can track the trajectory
+ * of the simulation hot path without parsing human-oriented
+ * tables.
+ *
+ * Trial rates and speedups are wall-clock measurements: they are
+ * machine-dependent, and the CI regression gate treats them as
+ * regression-only metrics (tools/check_bench_regression.py). The
+ * error rates are deterministic for a given (seed, trials).
  *
  * Usage: bench_mc_engine_json [trials=N] [seed=S] [out=PATH]
- *   trials  batch-engine trials per workload (scalar runs
- *           trials/16 to keep the wall time balanced)
- *   out     output path (default BENCH_mc_engine.json)
+ *        [scaling=0|1]
+ *   trials   batch-engine trials per workload (scalar runs
+ *            trials/16 to keep the wall time balanced)
+ *   scaling  measure thread scaling (default 1; always runs
+ *            threads 1/2/4 — on fewer cores the oversubscribed
+ *            rows document the flat-scaling floor)
  */
 
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "BenchCommon.hh"
 #include "error/AncillaSim.hh"
@@ -44,6 +54,31 @@ struct McWorkload
     bool pi8;
 };
 
+/** The in-memory 8-point mc-prep spec used for sweep scaling. */
+SweepSpec
+scalingSpec(std::uint64_t trials, std::uint64_t seed)
+{
+    Json doc = Json::object();
+    doc.set("name", "mc_engine_thread_scaling");
+    doc.set("runner", "mc-prep");
+    Json base = Json::object();
+    base.set("trials", trials);
+    base.set("seed", seed);
+    base.set("strategy", "verify_and_correct");
+    doc.set("base", base);
+    Json axes = Json::array();
+    Json axis = Json::object();
+    axis.set("field", "pGate");
+    Json values = Json::array();
+    for (double p : {1e-5, 2e-5, 3e-5, 5e-5, 1e-4, 2e-4, 3e-4,
+                     5e-4})
+        values.push(p);
+    axis.set("values", values);
+    axes.push(axis);
+    doc.set("axes", axes);
+    return SweepSpec::fromJson(doc);
+}
+
 } // namespace
 
 int
@@ -53,9 +88,10 @@ main(int argc, char **argv)
         bench::argValue(argc, argv, "trials", 4000000);
     const std::uint64_t seed =
         bench::argValue(argc, argv, "seed", 20080623);
-    const std::string out =
-        bench::argString(argc, argv, "out",
-                          "BENCH_mc_engine.json");
+    const bool scaling =
+        bench::argValue(argc, argv, "scaling", 1) != 0;
+    const std::string out = bench::argString(
+        argc, argv, "out", "BENCH_mc_engine.json");
 
     const McWorkload workloads[] = {
         {"basic_prep", ZeroPrepStrategy::Basic, false},
@@ -64,18 +100,13 @@ main(int argc, char **argv)
         {"pi8_conversion", ZeroPrepStrategy::VerifyAndCorrect, true},
     };
 
-    std::ofstream json(out);
-    if (!json) {
-        std::cerr << "cannot open " << out << "\n";
-        return 1;
-    }
-    json << "{\n  \"engine\": \"BatchAncillaSim\",\n"
-         << "  \"batch_trials_per_word_op\": 64,\n"
-         << "  \"trials\": " << trials << ",\n"
-         << "  \"seed\": " << seed << ",\n"
-         << "  \"workloads\": {\n";
+    Json doc = Json::object();
+    doc.set("engine", "BatchAncillaSim");
+    doc.set("batch_trials_per_word_op", 64);
+    doc.set("trials", trials);
+    doc.set("seed", seed);
 
-    bool first = true;
+    Json workloadsJson = Json::object();
     for (const McWorkload &w : workloads) {
         const std::uint64_t scalar_trials = trials / 16;
         AncillaPrepSimulator scalar(ErrorParams::paper(),
@@ -97,29 +128,88 @@ main(int argc, char **argv)
                               : batch.estimate(w.strategy, trials);
         });
 
-        if (!first)
-            json << ",\n";
-        first = false;
-        json << "    \"" << w.key << "\": {\n"
-             << "      \"scalar_trials_per_sec\": " << scalar_rate
-             << ",\n"
-             << "      \"batch_trials_per_sec\": " << batch_rate
-             << ",\n"
-             << "      \"speedup\": "
-             << (scalar_rate > 0 ? batch_rate / scalar_rate : 0.0)
-             << ",\n"
-             << "      \"scalar_error_rate\": "
-             << scalar_est.errorRate() << ",\n"
-             << "      \"batch_error_rate\": "
-             << batch_est.errorRate() << "\n    }";
-        std::cout << w.key << ": scalar "
-                  << scalar_rate / 1e6 << " Mtrials/s, batch "
-                  << batch_rate / 1e6 << " Mtrials/s ("
+        Json j = Json::object();
+        j.set("scalar_trials_per_sec", scalar_rate);
+        j.set("batch_trials_per_sec", batch_rate);
+        j.set("speedup",
+              scalar_rate > 0 ? batch_rate / scalar_rate : 0.0);
+        j.set("scalar_error_rate", scalar_est.errorRate());
+        j.set("batch_error_rate", batch_est.errorRate());
+        workloadsJson.set(w.key, j);
+
+        std::cout << w.key << ": scalar " << scalar_rate / 1e6
+                  << " Mtrials/s, batch " << batch_rate / 1e6
+                  << " Mtrials/s ("
                   << (scalar_rate > 0 ? batch_rate / scalar_rate
                                       : 0.0)
                   << "x)\n";
     }
-    json << "\n  }\n}\n";
+    doc.set("workloads", workloadsJson);
+
+    // Multicore thread scaling: the batched engine sharding one
+    // estimate across its own threads, and the sweep engine
+    // spreading whole points across its work-stealing pool. Both
+    // are bit-identical across thread counts; only the rates move.
+    if (scaling) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        Json scalingJson = Json::object();
+        scalingJson.set("hardware_concurrency",
+                        static_cast<int>(hw ? hw : 1));
+
+        const std::uint64_t scalingTrials = trials / 4;
+        Json engineJson = Json::object();
+        Json sweepJson = Json::object();
+        for (int threads : {1, 2, 4}) {
+            BatchSimConfig config;
+            config.threads = threads;
+            BatchAncillaSim sim(ErrorParams::paper(),
+                                MovementModel{}, seed,
+                                CorrectionSemantics::
+                                    DiscardOnSyndrome,
+                                config);
+            const double rate = trialsPerSec(scalingTrials, [&] {
+                sim.estimate(ZeroPrepStrategy::VerifyAndCorrect,
+                             scalingTrials);
+            });
+            Json e = Json::object();
+            e.set("trials_per_sec", rate);
+            engineJson.set(std::to_string(threads), e);
+
+            const SweepSpec spec =
+                scalingSpec(scalingTrials / 8, seed);
+            SweepOptions options;
+            options.threads = threads;
+            const SweepReport report = runSweep(spec, options);
+            Json s = Json::object();
+            s.set("points", report.points);
+            s.set("points_per_sec",
+                  report.wallSeconds > 0
+                      ? static_cast<double>(report.points)
+                          / report.wallSeconds
+                      : 0.0);
+            sweepJson.set(std::to_string(threads), s);
+
+            std::cout << "threads=" << threads << ": engine "
+                      << rate / 1e6 << " Mtrials/s, sweep "
+                      << (report.wallSeconds > 0
+                              ? static_cast<double>(report.points)
+                                  / report.wallSeconds
+                              : 0.0)
+                      << " points/s\n";
+        }
+        scalingJson.set("engine_trials",
+                        Json(scalingTrials));
+        scalingJson.set("batch_engine", engineJson);
+        scalingJson.set("sweep_engine", sweepJson);
+        doc.set("thread_scaling", scalingJson);
+    }
+
+    try {
+        doc.saveFile(out);
+    } catch (const std::invalid_argument &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
     std::cout << "wrote " << out << "\n";
     return 0;
 }

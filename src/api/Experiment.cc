@@ -211,6 +211,30 @@ ExperimentConfig::fromJson(const Json &j)
     return config;
 }
 
+std::uint64_t
+ExperimentConfig::hash() const
+{
+    return toJson().hash();
+}
+
+std::string
+ExperimentConfig::workloadKey() const
+{
+    // Exactly the fields Experiment::run(variant) checks: configs
+    // differing only elsewhere may share one built workload.
+    Json j = Json::object();
+    j.set("workload", workload);
+    j.set("bits", params.bits);
+    j.set("maxRotK", params.lowering.maxRotK);
+    j.set("qftMaxK", params.qft.maxK);
+    j.set("qftWithSwaps", params.qft.withSwaps);
+    j.set("maxSyllables", synth.maxSyllables);
+    j.set("maxError", synth.maxError);
+    j.set("pureHT", synth.pureHT);
+    j.set("tCostWeight", synth.tCostWeight);
+    return j.dump(0);
+}
+
 ExperimentConfig
 ExperimentConfig::load(const std::string &path)
 {
@@ -322,6 +346,40 @@ Result::toJson() const
     return j;
 }
 
+Json
+Result::summaryJson() const
+{
+    Json j = Json::object();
+    j.set("workload", workload);
+    j.set("schedule", schedule);
+    if (!arch.empty())
+        j.set("arch", arch);
+    // Same gating convention as toJson(): level-1 summaries stay
+    // byte-identical to the pre-level-knob shape.
+    if (codeLevel != 1)
+        j.set("code_level", codeLevel);
+    j.set("qubits", qubits);
+    j.set("gates", gates);
+    j.set("makespan_ms", toMs(makespan));
+    j.set("klops", klops());
+    j.set("slowdown", slowdown());
+    if (!completed)
+        j.set("completed", completed);
+    j.set("zero_per_ms", bandwidth.zeroPerMs());
+    j.set("pi8_per_ms", bandwidth.pi8PerMs());
+    j.set("factory_area", allocation.totalArea());
+    if (allocation.codeLevel >= 2) {
+        j.set("inter_level_zero_per_ms",
+              allocation.interLevelZeroPerMs);
+    }
+    if (schedule == scheduleModeName(ScheduleMode::Arch)) {
+        j.set("ancilla_area", archRun.ancillaArea);
+        if (archRun.cacheAccesses)
+            j.set("miss_rate", archRun.missRate());
+    }
+    return j;
+}
+
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config))
 {
@@ -332,9 +390,17 @@ Experiment::Experiment(ExperimentConfig config, Workload workload)
 {
 }
 
+Experiment::Experiment(ExperimentConfig config,
+                       std::shared_ptr<const Workload> workload)
+    : config_(std::move(config)), shared_(std::move(workload))
+{
+}
+
 const Workload &
 Experiment::workload()
 {
+    if (shared_)
+        return *shared_;
     if (!workload_) {
         synth_.emplace(config_.synth);
         workload_ = WorkloadRegistry::instance().build(

@@ -26,6 +26,7 @@
 #define QC_API_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -169,6 +170,22 @@ struct ExperimentConfig
     static ExperimentConfig fromJson(const Json &json);
     Json toJson() const;
 
+    /**
+     * Stable 64-bit configuration hash (Json::hash of toJson), the
+     * key of the sweep engine's per-point memoization cache: two
+     * configs that run identically hash identically.
+     */
+    std::uint64_t hash() const;
+
+    /**
+     * Canonical identity of the *workload* part of the config
+     * (workload name, construction params, synthesis knobs) — the
+     * fields Experiment::run(variant) requires to match. Configs
+     * with equal workloadKey() can share one built Workload; the
+     * sweep engine's cross-point workload cache keys on it.
+     */
+    std::string workloadKey() const;
+
     /** File convenience wrappers. */
     static ExperimentConfig load(const std::string &path);
     void save(const std::string &path) const;
@@ -220,6 +237,14 @@ struct Result
     double slowdown() const;
 
     Json toJson() const;
+
+    /**
+     * Compact flat aggregation of the headline metrics (makespan,
+     * KLOPS, slowdown, bandwidth, factory area, arch counters when
+     * present) for sweep points and trajectory files, where the
+     * full nested toJson() per point would drown the signal.
+     */
+    Json summaryJson() const;
 };
 
 /**
@@ -237,6 +262,15 @@ class Experiment
      * assumed to describe it; no rebuild happens.
      */
     Experiment(ExperimentConfig config, Workload workload);
+
+    /**
+     * Share an already-built workload without copying it (the
+     * sweep engine's cross-point cache hands the same instance to
+     * many concurrent points). The workload must outlive the
+     * experiment and is never mutated.
+     */
+    Experiment(ExperimentConfig config,
+               std::shared_ptr<const Workload> workload);
 
     /**
      * Non-copyable/movable: the cached DataflowGraph references the
@@ -292,6 +326,7 @@ class Experiment
     ExperimentConfig config_;
     std::optional<FowlerSynth> synth_;
     std::optional<Workload> workload_;
+    std::shared_ptr<const Workload> shared_; ///< takes precedence
     std::optional<DataflowGraph> graph_;
     std::optional<Analytics> analytics_;
 };

@@ -529,6 +529,20 @@ Json::dump(int indent) const
     return out;
 }
 
+std::uint64_t
+Json::hash() const
+{
+    // FNV-1a over the compact dump: the dump is canonical (sorted
+    // keys, shortest-round-trip numbers), so the hash is stable
+    // across construction order, processes and platforms.
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : dump(0)) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 Json
 Json::parse(const std::string &text)
 {

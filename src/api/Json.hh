@@ -88,6 +88,14 @@ class Json
     /** Serialize; indent > 0 pretty-prints with that step. */
     std::string dump(int indent = 2) const;
 
+    /**
+     * Stable 64-bit content hash (FNV-1a over the canonical dump).
+     * Keys are sorted, so two values that compare equal hash equal
+     * regardless of construction order; used by the sweep engine's
+     * per-point config memoization.
+     */
+    std::uint64_t hash() const;
+
     /** Parse a complete JSON document; throws on syntax errors. */
     static Json parse(const std::string &text);
 

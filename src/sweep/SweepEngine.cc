@@ -1,0 +1,147 @@
+#include "sweep/SweepEngine.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "sweep/WorkStealingPool.hh"
+
+namespace qc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+hexHash(std::uint64_t hash)
+{
+    char out[17];
+    std::snprintf(out, sizeof out, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return out;
+}
+
+} // namespace
+
+SweepReport
+runSweep(const SweepSpec &spec, const SweepOptions &options)
+{
+    const SweepRunner &runner =
+        SweepRunnerRegistry::instance().get(spec.runner);
+    const std::vector<SweepPoint> points = spec.expand();
+    const auto t0 = Clock::now();
+
+    // Per-point config memoization: duplicate configurations
+    // (overlapping grids, degenerate axes) execute once; the rest
+    // are cache hits. The dedup keys on the full canonical dump —
+    // the 64-bit hash is reported per point but never trusted for
+    // equality, so a hash collision cannot alias two configs. The
+    // hit/miss split is a function of the point list alone, so it
+    // is deterministic across thread counts.
+    std::vector<std::uint64_t> hashes(points.size());
+    std::vector<std::size_t> canonical(points.size());
+    std::vector<std::size_t> unique;
+    {
+        std::map<std::string, std::size_t> first;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            hashes[i] = points[i].config.hash();
+            auto [it, inserted] =
+                first.emplace(points[i].config.dump(0), i);
+            canonical[i] = it->second;
+            if (inserted)
+                unique.push_back(i);
+        }
+    }
+
+    SweepReport report;
+    report.points = points.size();
+    report.cacheMisses = unique.size();
+    report.cacheHits = points.size() - unique.size();
+
+    // Execute the unique points on the work-stealing pool; results
+    // land in expansion-order slots, so aggregation below is
+    // deterministic no matter how the pool schedules them.
+    std::vector<Json> results(points.size());
+    // char, not bool: vector<bool> is bit-packed, and workers set
+    // failure flags for distinct indices concurrently.
+    std::vector<char> pointFailed(points.size(), 0);
+    SweepContext context;
+    std::mutex progressMutex;
+    std::size_t done = 0;
+    auto tick = [&](std::size_t index, bool cached) {
+        if (!options.progress)
+            return;
+        SweepProgress progress;
+        progress.done = ++done;
+        progress.total = points.size();
+        progress.point = &points[index];
+        progress.cached = cached;
+        options.progress(progress);
+    };
+
+    WorkStealingPool pool(options.threads);
+    pool.run(unique.size(), [&](std::size_t task) {
+        const std::size_t index = unique[task];
+        try {
+            results[index] =
+                runner.runPoint(points[index].config, context);
+        } catch (const std::exception &e) {
+            Json error = Json::object();
+            error.set("error", e.what());
+            results[index] = std::move(error);
+            pointFailed[index] = 1;
+        }
+        std::lock_guard<std::mutex> lock(progressMutex);
+        tick(index, /*cached=*/false);
+    });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (canonical[i] != i) {
+            results[i] = results[canonical[i]];
+            pointFailed[i] = pointFailed[canonical[i]];
+            tick(i, /*cached=*/true);
+        }
+        if (pointFailed[i])
+            ++report.failed;
+    }
+
+    // Aggregate: one flat object per point — the axis assignment
+    // first, then the runner's metrics (runner keys win on
+    // collision, e.g. "trials" rounded up to a full batch).
+    Json pointsJson = Json::array();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        Json point = Json::object();
+        for (const auto &[field, value] :
+             points[i].assignment.items())
+            point.set(field, value);
+        if (results[i].isObject()) {
+            for (const auto &[key, value] : results[i].items())
+                point.set(key, value);
+        }
+        point.set("config_hash", hexHash(hashes[i]));
+        pointsJson.push(point);
+    }
+
+    Json doc = Json::object();
+    doc.set("sweep", spec.name);
+    doc.set("runner", spec.runner);
+    // Bind the metadata before iterating: range-for does not
+    // lifetime-extend a temporary through the .items() call.
+    const Json metadata = runner.metadata();
+    for (const auto &[key, value] : metadata.items())
+        doc.set(key, value);
+    doc.set("spec", spec.toJson());
+    doc.set("grid_points", points.size());
+    Json cache = Json::object();
+    cache.set("hits", report.cacheHits);
+    cache.set("misses", report.cacheMisses);
+    doc.set("cache", cache);
+    doc.set("points", pointsJson);
+
+    report.doc = std::move(doc);
+    report.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return report;
+}
+
+} // namespace qc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The parallel sweep executor: expands a SweepSpec, memoizes
+ * duplicate points by configuration hash, runs the unique points on
+ * a work-stealing thread pool, and aggregates the results into one
+ * JSON document in deterministic (expansion) order.
+ *
+ * Output is bit-identical for a given spec regardless of thread
+ * count: results land in expansion-order slots, the memo cache is
+ * computed from the point list (not the schedule), and nothing
+ * wall-clock-dependent enters the document. Wall time and thread
+ * count are reported out-of-band in the SweepReport.
+ *
+ * Document shape (BENCH_*.json-compatible: flat metric keys per
+ * point under a "points" array):
+ *
+ *     {
+ *       "sweep": "<spec name>",
+ *       "runner": "<runner key>",
+ *       ...runner metadata ("engine": ...),
+ *       "spec": { ...the spec itself, for provenance... },
+ *       "grid_points": N,
+ *       "cache": {"hits": H, "misses": M},
+ *       "points": [ {<axis assignments> + <runner metrics>}, ... ]
+ *     }
+ */
+
+#ifndef QC_SWEEP_SWEEP_ENGINE_HH
+#define QC_SWEEP_SWEEP_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "sweep/SweepRunner.hh"
+#include "sweep/SweepSpec.hh"
+
+namespace qc {
+
+/** One progress tick, delivered serially (under the engine lock). */
+struct SweepProgress
+{
+    std::size_t done = 0;  ///< points finished (cache hits included)
+    std::size_t total = 0; ///< expanded point count
+    /** The point that just finished. */
+    const SweepPoint *point = nullptr;
+    bool cached = false;   ///< satisfied from the memo cache
+};
+
+/** Execution knobs; the spec itself stays machine-independent. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency().
+     *  Results are independent of this value. */
+    int threads = 1;
+
+    /** Progress sink; called serially, may be empty. */
+    std::function<void(const SweepProgress &)> progress;
+};
+
+/** Outcome of one sweep run. */
+struct SweepReport
+{
+    Json doc;                   ///< the aggregated document
+    std::size_t points = 0;     ///< expanded point count
+    std::size_t cacheHits = 0;  ///< points served from the memo
+    std::size_t cacheMisses = 0;///< points actually executed
+    std::size_t failed = 0;     ///< points that threw (see "error")
+    double wallSeconds = 0;     ///< not part of doc (determinism)
+};
+
+/**
+ * Expand and execute a sweep. Spec-shape problems (unknown runner
+ * or axis fields, zip mismatches) throw std::invalid_argument;
+ * per-point execution errors are recorded on the point as
+ * {"error": message} and counted in SweepReport::failed.
+ */
+SweepReport runSweep(const SweepSpec &spec,
+                     const SweepOptions &options = {});
+
+} // namespace qc
+
+#endif // QC_SWEEP_SWEEP_ENGINE_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The unit of work a sweep executes: a SweepRunner turns one point
+ * configuration (JSON) into one point result (JSON). Runners are
+ * registered by string key — the SweepSpec's "runner" field — and
+ * publish the configuration fields a spec may put on its axes, so
+ * bad specs fail fast with the valid field list in the error.
+ *
+ * Built-ins:
+ *
+ *  - "experiment"  qc::runExperiment over ExperimentConfig JSON
+ *                  (workload, bits, codeLevel, schedule, arch,
+ *                  errors.pGate, ... — every knob of the facade),
+ *                  plus the derived field "zeroPerMsOfAverage" for
+ *                  Figure 8-style throttling at a fraction of the
+ *                  workload's own average bandwidth. Workload
+ *                  builds (synthesis included) are shared across
+ *                  points through the SweepContext cache.
+ *
+ *  - "mc-prep"     BatchAncillaSim Monte Carlo estimation of the
+ *                  encoded-zero preparation strategies and the pi/8
+ *                  conversion (Figure 4 error-rate planes):
+ *                  strategy, pGate, pMove, trials, seed, semantics,
+ *                  wordsPerQubit.
+ *
+ * Every runner must be a pure function of the point configuration
+ * (seeded Monte Carlo included) so sweep output is bit-identical
+ * regardless of thread count or scheduling.
+ */
+
+#ifndef QC_SWEEP_SWEEP_RUNNER_HH
+#define QC_SWEEP_SWEEP_RUNNER_HH
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/Experiment.hh"
+#include "api/Json.hh"
+
+namespace qc {
+
+/**
+ * Shared state one sweep run threads through its points: the
+ * cross-point workload cache. Thread-safe; the first point to need
+ * a workload builds it (synthesis and all), concurrent requests for
+ * the same workload block on that one build.
+ */
+class SweepContext
+{
+  public:
+    /** The built workload for the config's workloadKey(). */
+    std::shared_ptr<const Workload>
+    workload(const ExperimentConfig &config);
+
+    /** Distinct workloads built so far. */
+    std::size_t workloadsBuilt();
+
+    /**
+     * The workload's average encoded-zero bandwidth (per ms) at
+     * speed of data under this config — the Figure 8 yardstick.
+     * Cached by the normalized speed-of-data config, so fraction
+     * sweeps compute it once per workload instead of once per
+     * point. Racing points may both compute it (deterministic, so
+     * harmless); the first store wins.
+     */
+    BandwidthPerMs
+    averageZeroBandwidth(const ExperimentConfig &config,
+                         std::shared_ptr<const Workload> workload);
+
+  private:
+    std::mutex mutex_;
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const Workload>>>
+        cache_;
+    std::map<std::string, BandwidthPerMs> bandwidth_;
+};
+
+/** Turns one point configuration into one point result. */
+class SweepRunner
+{
+  public:
+    virtual ~SweepRunner() = default;
+
+    /** Registry key ("experiment", "mc-prep"). */
+    virtual std::string name() const = 0;
+
+    /** One-line description for `qcarch list runners`. */
+    virtual std::string description() const = 0;
+
+    /** Dotted config fields a spec may sweep, sorted. */
+    virtual std::vector<std::string> fields() const = 0;
+
+    /** Document-level keys merged into the aggregated output
+     *  ("engine": "BatchAncillaSim"). */
+    virtual Json metadata() const { return Json::object(); }
+
+    /**
+     * Run one point. Must be safe to call concurrently from many
+     * threads and deterministic in `config`. User-input problems
+     * throw std::invalid_argument; the engine records the message
+     * on the point rather than abandoning the sweep.
+     */
+    virtual Json runPoint(const Json &config,
+                          SweepContext &context) const = 0;
+};
+
+/** Process-wide runner registry; built-ins self-register. */
+class SweepRunnerRegistry
+{
+  public:
+    static SweepRunnerRegistry &instance();
+
+    /** Register (or replace) a runner under a lookup key. */
+    void add(const std::string &key,
+             std::shared_ptr<const SweepRunner> runner);
+
+    bool contains(const std::string &key) const;
+
+    /** Registered keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Look up a runner; throws std::invalid_argument listing the
+     *  registered keys on unknowns. */
+    const SweepRunner &get(const std::string &key) const;
+
+  private:
+    std::map<std::string, std::shared_ptr<const SweepRunner>>
+        runners_;
+};
+
+/** Registers the built-in runners (called once by instance()). */
+void registerBuiltinSweepRunners(SweepRunnerRegistry &registry);
+
+} // namespace qc
+
+#endif // QC_SWEEP_SWEEP_RUNNER_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A small work-stealing task pool for index-addressed work: N
+ * workers, each owning a deque of task indices, popping their own
+ * front and stealing a victim's back when empty. Built for the
+ * sweep engine's point lists, where tasks vary wildly in cost (a
+ * 2M-trial Monte Carlo point next to a cached analytic one) and
+ * results are written to index-addressed slots, so scheduling
+ * order never affects output.
+ *
+ * Tasks are seeded round-robin in contiguous runs so neighbouring
+ * points (which tend to share workloads and cost profiles) start on
+ * the same worker, and stealing only rebalances the tail.
+ */
+
+#ifndef QC_SWEEP_WORK_STEALING_POOL_HH
+#define QC_SWEEP_WORK_STEALING_POOL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace qc {
+
+class WorkStealingPool
+{
+  public:
+    /** threads == 0 selects std::thread::hardware_concurrency(). */
+    explicit WorkStealingPool(int threads)
+    {
+        if (threads <= 0) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            threads = hw > 0 ? static_cast<int>(hw) : 1;
+        }
+        workers_ = static_cast<std::size_t>(threads);
+    }
+
+    std::size_t workers() const { return workers_; }
+
+    /**
+     * Run body(index) for every index in [0, tasks), distributed
+     * over the pool. Returns when all tasks finished. If any body
+     * throws, the first exception (in worker order) is rethrown
+     * after the pool drains; remaining tasks still run.
+     */
+    void
+    run(std::size_t tasks,
+        const std::function<void(std::size_t)> &body) const
+    {
+        if (tasks == 0)
+            return;
+        const std::size_t n = std::min(workers_, tasks);
+
+        // Seed contiguous runs of tasks round-robin across workers.
+        std::vector<Shard> shards(n);
+        const std::size_t chunk = (tasks + n - 1) / n;
+        for (std::size_t w = 0, next = 0; w < n; ++w) {
+            for (std::size_t i = 0;
+                 i < chunk && next < tasks; ++i, ++next)
+                shards[w].queue.push_back(next);
+        }
+
+        std::vector<std::exception_ptr> errors(n);
+        auto worker = [&](std::size_t self) {
+            for (;;) {
+                std::optional<std::size_t> task =
+                    popOwn(shards[self]);
+                for (std::size_t victim = 0;
+                     !task && victim < n; ++victim) {
+                    if (victim != self)
+                        task = steal(shards[victim]);
+                }
+                if (!task)
+                    return;
+                try {
+                    body(*task);
+                } catch (...) {
+                    if (!errors[self])
+                        errors[self] = std::current_exception();
+                }
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(n > 1 ? n - 1 : 0);
+        for (std::size_t w = 1; w < n; ++w)
+            threads.emplace_back(worker, w);
+        worker(0);
+        for (std::thread &t : threads)
+            t.join();
+        for (const std::exception_ptr &e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> queue;
+    };
+
+    static std::optional<std::size_t>
+    popOwn(Shard &shard)
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.queue.empty())
+            return std::nullopt;
+        const std::size_t task = shard.queue.front();
+        shard.queue.pop_front();
+        return task;
+    }
+
+    static std::optional<std::size_t>
+    steal(Shard &shard)
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.queue.empty())
+            return std::nullopt;
+        const std::size_t task = shard.queue.back();
+        shard.queue.pop_back();
+        return task;
+    }
+
+    std::size_t workers_ = 1;
+};
+
+} // namespace qc
+
+#endif // QC_SWEEP_WORK_STEALING_POOL_HH

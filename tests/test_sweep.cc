@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests for the sweep subsystem: SweepSpec parsing and expansion
+ * (cartesian order, zipped axes, grid unions, bad-field errors
+ * listing the valid fields), the config-hash memoization cache's
+ * hit/miss accounting, thread-count invariance of the aggregated
+ * JSON, runner parity with the direct engines, and the shipped
+ * specs under specs/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "api/Qc.hh"
+#include "error/BatchAncillaSim.hh"
+#include "layout/Builders.hh"
+#include "sweep/Sweep.hh"
+#include "sweep/WorkStealingPool.hh"
+
+namespace qc {
+namespace {
+
+Json
+parse(const std::string &text)
+{
+    return Json::parse(text);
+}
+
+// ---------------------------------------------------------------
+// SweepSpec parsing and expansion
+// ---------------------------------------------------------------
+
+TEST(SweepSpec, ExpandsCartesianProductLastAxisFastest)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 1000},
+      "axes": [
+        {"field": "pGate", "values": [1e-5, 1e-4]},
+        {"field": "pMove", "values": [1e-7, 1e-6, 1e-5]}
+      ]
+    })"));
+    EXPECT_EQ(spec.points(), 6u);
+
+    const std::vector<SweepPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 6u);
+    // Nested-loop order: pMove (last axis) varies fastest.
+    EXPECT_DOUBLE_EQ(points[0].config.at("pGate").asDouble(), 1e-5);
+    EXPECT_DOUBLE_EQ(points[0].config.at("pMove").asDouble(), 1e-7);
+    EXPECT_DOUBLE_EQ(points[1].config.at("pMove").asDouble(), 1e-6);
+    EXPECT_DOUBLE_EQ(points[2].config.at("pMove").asDouble(), 1e-5);
+    EXPECT_DOUBLE_EQ(points[3].config.at("pGate").asDouble(), 1e-4);
+    EXPECT_DOUBLE_EQ(points[3].config.at("pMove").asDouble(), 1e-7);
+    // The base rides along on every point.
+    EXPECT_EQ(points[5].config.at("trials").asInt(), 1000);
+    // The assignment records only the axis fields.
+    EXPECT_FALSE(points[0].assignment.has("trials"));
+    EXPECT_TRUE(points[0].assignment.has("pGate"));
+}
+
+TEST(SweepSpec, ZippedAxesAdvanceTogether)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "axes": [
+        {"zip": [
+          {"field": "arch", "values": ["qla", "gqla", "gqla"]},
+          {"field": "generatorsPerSite", "values": [1, 2, 4]}
+        ]},
+        {"field": "workload", "values": ["qrca", "qft"]}
+      ]
+    })"));
+    const std::vector<SweepPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 6u);
+    // (qla,1), (gqla,2), (gqla,4) each crossed with two workloads.
+    EXPECT_EQ(points[0].config.at("arch").asString(), "qla");
+    EXPECT_EQ(points[0].config.at("generatorsPerSite").asInt(), 1);
+    EXPECT_EQ(points[0].config.at("workload").asString(), "qrca");
+    EXPECT_EQ(points[1].config.at("workload").asString(), "qft");
+    EXPECT_EQ(points[2].config.at("arch").asString(), "gqla");
+    EXPECT_EQ(points[2].config.at("generatorsPerSite").asInt(), 2);
+    EXPECT_EQ(points[4].config.at("generatorsPerSite").asInt(), 4);
+}
+
+TEST(SweepSpec, ZipLengthMismatchThrows)
+{
+    EXPECT_THROW(SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "axes": [
+        {"zip": [
+          {"field": "arch", "values": ["qla", "gqla"]},
+          {"field": "generatorsPerSite", "values": [1, 2, 4]}
+        ]}
+      ]
+    })")),
+                 std::invalid_argument);
+}
+
+TEST(SweepSpec, GridsConcatenateAndMergeBases)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "base": {"bits": 8, "errors": {"pGate": 1e-4}},
+      "grids": [
+        {"axes": [{"field": "workload", "values": ["qrca"]}]},
+        {"base": {"schedule": "arch", "errors": {"pMove": 1e-6}},
+         "axes": [{"field": "workload",
+                   "values": ["qrca", "qft"]}]}
+      ]
+    })"));
+    const std::vector<SweepPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_FALSE(points[0].config.has("schedule"));
+    EXPECT_EQ(points[1].config.at("schedule").asString(), "arch");
+    // Nested objects merge key-by-key, not wholesale.
+    EXPECT_DOUBLE_EQ(
+        points[1].config.at("errors").at("pGate").asDouble(), 1e-4);
+    EXPECT_DOUBLE_EQ(
+        points[1].config.at("errors").at("pMove").asDouble(), 1e-6);
+    EXPECT_EQ(points[2].config.at("bits").asInt(), 8);
+}
+
+TEST(SweepSpec, UnknownFieldListsValidFields)
+{
+    try {
+        SweepSpec::fromJson(parse(R"({
+          "runner": "experiment",
+          "axes": [{"field": "pGait", "values": [1]}]
+        })"));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("pGait"), std::string::npos);
+        EXPECT_NE(message.find("valid fields"), std::string::npos);
+        EXPECT_NE(message.find("errors.pGate"), std::string::npos);
+        EXPECT_NE(message.find("workload"), std::string::npos);
+    }
+}
+
+TEST(SweepSpec, UnknownBaseKeyFailsFastToo)
+{
+    // A typo in the base must not silently sweep at the default
+    // value; base keys get the same validation as axis fields.
+    try {
+        SweepSpec::fromJson(parse(R"({
+          "runner": "mc-prep",
+          "base": {"pgate": 1e-3},
+          "axes": [{"field": "pMove", "values": [1e-6]}]
+        })"));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("pgate"), std::string::npos);
+        EXPECT_NE(message.find("valid fields"), std::string::npos);
+    }
+    // Nested base objects validate by dotted path.
+    EXPECT_THROW(SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "base": {"synth": {"maxSillables": 4}},
+      "axes": [{"field": "bits", "values": [8]}]
+    })")),
+                 std::invalid_argument);
+}
+
+TEST(SweepSpec, UnknownRunnerListsRegisteredRunners)
+{
+    try {
+        SweepSpec::fromJson(
+            parse(R"({"runner": "quantum-vibes"})"));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("quantum-vibes"), std::string::npos);
+        EXPECT_NE(message.find("experiment"), std::string::npos);
+        EXPECT_NE(message.find("mc-prep"), std::string::npos);
+    }
+}
+
+TEST(SweepSpec, UnknownSpecOrGridKeysThrow)
+{
+    // "axis" instead of "axes" must not silently collapse the
+    // sweep to a bare-base one-point run.
+    EXPECT_THROW(SweepSpec::fromJson(parse(
+                     R"({"runner": "mc-prep",
+                         "axis": [{"field": "pGate",
+                                   "values": [1e-4]}]})")),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepSpec::fromJson(parse(
+                     R"({"grids": [{"axees": []}]})")),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepSpec::fromJson(parse(R"({"grids": [1]})")),
+                 std::invalid_argument);
+}
+
+TEST(SweepSpec, MalformedAxesThrow)
+{
+    EXPECT_THROW(SweepSpec::fromJson(parse(
+                     R"({"axes": [{"values": [1]}]})")),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepSpec::fromJson(parse(
+                     R"({"axes": [{"field": "bits",
+                          "values": []}]})")),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepSpec::fromJson(parse(
+                     R"({"axes": [1], "grids": []})")),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepSpec::fromJson(parse(
+                     R"({"axes": [], "grids": []})")),
+                 std::invalid_argument);
+}
+
+TEST(SweepSpec, JsonRoundTrips)
+{
+    const Json doc = parse(R"({
+      "name": "trip",
+      "runner": "experiment",
+      "base": {"bits": 8},
+      "grids": [
+        {"axes": [{"field": "workload", "values": ["qrca"]}]},
+        {"base": {"schedule": "arch"},
+         "axes": [{"zip": [
+            {"field": "arch", "values": ["qla", "cqla"]},
+            {"field": "cacheSlots", "values": [1, 24]}]}]}
+      ]
+    })");
+    const SweepSpec spec = SweepSpec::fromJson(doc);
+    const SweepSpec back = SweepSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.toJson(), spec.toJson());
+    EXPECT_EQ(back.points(), spec.points());
+}
+
+TEST(SweepSpec, SetJsonPathCreatesNestedObjects)
+{
+    Json j = Json::object();
+    setJsonPath(j, "errors.pGate", Json(1e-3));
+    setJsonPath(j, "errors.pMove", Json(1e-5));
+    setJsonPath(j, "bits", Json(16));
+    EXPECT_DOUBLE_EQ(j.at("errors").at("pGate").asDouble(), 1e-3);
+    EXPECT_DOUBLE_EQ(j.at("errors").at("pMove").asDouble(), 1e-5);
+    EXPECT_EQ(j.at("bits").asInt(), 16);
+}
+
+// ---------------------------------------------------------------
+// Config hash hooks
+// ---------------------------------------------------------------
+
+TEST(ConfigHash, DistinguishesConfigsAndIgnoresKeyOrder)
+{
+    ExperimentConfig a;
+    ExperimentConfig b;
+    EXPECT_EQ(a.hash(), b.hash());
+    b.errors.pGate = 2e-4;
+    EXPECT_NE(a.hash(), b.hash());
+
+    // Json::hash is order-insensitive by construction (sorted
+    // keys).
+    EXPECT_EQ(parse(R"({"a": 1, "b": 2})").hash(),
+              parse(R"({"b": 2, "a": 1})").hash());
+    EXPECT_NE(parse(R"({"a": 1})").hash(), parse(R"({"a": 2})").hash());
+}
+
+TEST(ConfigHash, WorkloadKeyCoversOnlyWorkloadIdentity)
+{
+    ExperimentConfig a;
+    ExperimentConfig b;
+    b.schedule = ScheduleMode::Arch;
+    b.errors.pGate = 9e-4;
+    EXPECT_EQ(a.workloadKey(), b.workloadKey());
+    b.params.bits = 12;
+    EXPECT_NE(a.workloadKey(), b.workloadKey());
+}
+
+// ---------------------------------------------------------------
+// Engine: memoization, determinism, error capture
+// ---------------------------------------------------------------
+
+/** A degenerate axis with repeated values: 4 points, 2 unique. */
+SweepSpec
+duplicateSpec()
+{
+    return SweepSpec::fromJson(parse(R"({
+      "name": "dupes",
+      "runner": "mc-prep",
+      "base": {"trials": 20000, "seed": 7},
+      "axes": [
+        {"field": "pGate",
+         "values": [1e-4, 3e-4, 1e-4, 3e-4]}
+      ]
+    })"));
+}
+
+TEST(SweepEngine, MemoizesDuplicatePointsByConfigHash)
+{
+    const SweepReport report = runSweep(duplicateSpec());
+    EXPECT_EQ(report.points, 4u);
+    EXPECT_EQ(report.cacheMisses, 2u);
+    EXPECT_EQ(report.cacheHits, 2u);
+    EXPECT_EQ(report.failed, 0u);
+
+    const Json &points = report.doc.at("points");
+    ASSERT_EQ(points.size(), 4u);
+    // Duplicates share the hash and the full result.
+    EXPECT_EQ(points.at(0).at("config_hash"),
+              points.at(2).at("config_hash"));
+    EXPECT_EQ(points.at(0).at("error_rate"),
+              points.at(2).at("error_rate"));
+    EXPECT_NE(points.at(0).at("config_hash"),
+              points.at(1).at("config_hash"));
+    // And the accounting lands in the document.
+    EXPECT_EQ(report.doc.at("cache").at("hits").asInt(), 2);
+    EXPECT_EQ(report.doc.at("cache").at("misses").asInt(), 2);
+}
+
+TEST(SweepEngine, AggregatedJsonIsThreadCountInvariant)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "name": "threads",
+      "runner": "mc-prep",
+      "base": {"trials": 50000, "seed": 11},
+      "axes": [
+        {"field": "strategy",
+         "values": ["basic", "verify_and_correct"]},
+        {"field": "pGate", "values": [1e-4, 3e-4, 1e-3]}
+      ]
+    })"));
+    SweepOptions one;
+    one.threads = 1;
+    SweepOptions four;
+    four.threads = 4;
+    const std::string a = runSweep(spec, one).doc.dump();
+    const std::string b = runSweep(spec, four).doc.dump();
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepEngine, ExperimentSweepIsThreadCountInvariant)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "name": "exp-threads",
+      "runner": "experiment",
+      "base": {"workload": "qrca", "bits": 6,
+               "synth": {"maxSyllables": 3}},
+      "axes": [
+        {"field": "schedule",
+         "values": ["speed-of-data", "arch"]},
+        {"field": "codeLevel", "values": [1, 2]}
+      ]
+    })"));
+    SweepOptions one;
+    one.threads = 1;
+    SweepOptions four;
+    four.threads = 4;
+    const std::string a = runSweep(spec, one).doc.dump();
+    const std::string b = runSweep(spec, four).doc.dump();
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepEngine, PointErrorsAreCapturedNotFatal)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 1000},
+      "axes": [
+        {"field": "strategy", "values": ["basic", "bogus"]}
+      ]
+    })"));
+    const SweepReport report = runSweep(spec);
+    EXPECT_EQ(report.failed, 1u);
+    const Json &points = report.doc.at("points");
+    EXPECT_FALSE(points.at(0).has("error"));
+    EXPECT_TRUE(points.at(1).has("error"));
+    EXPECT_NE(points.at(1).at("error").asString().find("bogus"),
+              std::string::npos);
+}
+
+TEST(SweepEngine, ProgressReportsEveryPointOnce)
+{
+    std::size_t calls = 0;
+    std::size_t cached = 0;
+    std::size_t lastDone = 0;
+    SweepOptions options;
+    options.progress = [&](const SweepProgress &p) {
+        ++calls;
+        cached += p.cached ? 1 : 0;
+        lastDone = p.done;
+        EXPECT_EQ(p.total, 4u);
+        ASSERT_NE(p.point, nullptr);
+    };
+    runSweep(duplicateSpec(), options);
+    EXPECT_EQ(calls, 4u);
+    EXPECT_EQ(cached, 2u);
+    EXPECT_EQ(lastDone, 4u);
+}
+
+// ---------------------------------------------------------------
+// Runners: parity with the direct engines
+// ---------------------------------------------------------------
+
+TEST(SweepRunners, McPrepPointMatchesDirectBatchSim)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 100000, "seed": 20080623,
+               "strategy": "verify_and_correct",
+               "pGate": 3e-4, "pMove": 1e-6}
+    })"));
+    const SweepReport report = runSweep(spec);
+    ASSERT_EQ(report.points, 1u);
+    const Json &point = report.doc.at("points").at(0);
+
+    const MovementModel movement = calibrateMovement(
+        buildSimpleFactory(), IonTrapParams::paper());
+    ErrorParams errors;
+    errors.pGate = 3e-4;
+    BatchAncillaSim sim(errors, movement, 20080623);
+    const PrepEstimate est =
+        sim.estimate(ZeroPrepStrategy::VerifyAndCorrect, 100000);
+    EXPECT_DOUBLE_EQ(point.at("error_rate").asDouble(),
+                     est.errorRate());
+    EXPECT_DOUBLE_EQ(point.at("verify_fail_rate").asDouble(),
+                     est.discardRate());
+    EXPECT_FALSE(point.at("paper_point").asBool());
+}
+
+TEST(SweepRunners, ExperimentPointMatchesRunExperiment)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "base": {"workload": "qrca", "bits": 8,
+               "synth": {"maxSyllables": 3}},
+      "axes": [{"field": "codeLevel", "values": [1, 2]}]
+    })"));
+    const SweepReport report = runSweep(spec);
+    const Json &points = report.doc.at("points");
+
+    ExperimentConfig config;
+    config.workload = "qrca";
+    config.params.bits = 8;
+    config.synth.maxSyllables = 3;
+    for (std::size_t i = 0; i < 2; ++i) {
+        config.codeLevel = static_cast<int>(i) + 1;
+        const Result expected = runExperiment(config);
+        const Json &point = points.at(i);
+        EXPECT_DOUBLE_EQ(point.at("makespan_ms").asDouble(),
+                         toMs(expected.makespan));
+        EXPECT_DOUBLE_EQ(point.at("klops").asDouble(),
+                         expected.klops());
+        EXPECT_DOUBLE_EQ(point.at("factory_area").asDouble(),
+                         expected.allocation.totalArea());
+    }
+}
+
+TEST(SweepRunners, ZeroPerMsOfAverageThrottlesRelativeToWorkload)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "base": {"workload": "qrca", "bits": 8,
+               "synth": {"maxSyllables": 3},
+               "schedule": "throttled"},
+      "axes": [{"field": "zeroPerMsOfAverage",
+                "values": [0.25, 100.0]}]
+    })"));
+    const SweepReport report = runSweep(spec);
+    const Json &points = report.doc.at("points");
+    const double starved =
+        points.at(0).at("makespan_ms").asDouble();
+    const double flooded =
+        points.at(1).at("makespan_ms").asDouble();
+    // The flooded run sits at the speed-of-data plateau; the
+    // starved run pays for the supply gap.
+    EXPECT_GT(starved, 3.0 * flooded);
+    EXPECT_GT(points.at(0).at("slowdown").asDouble(), 3.0);
+    EXPECT_NEAR(points.at(1).at("slowdown").asDouble(), 1.0, 0.35);
+    EXPECT_GT(points.at(1).at("zero_supply_per_ms").asDouble(),
+              points.at(0).at("zero_supply_per_ms").asDouble());
+}
+
+TEST(SweepRunners, ZeroPerMsOfAverageRejectsNonThrottledSchedule)
+{
+    // The fraction knob must not silently override a conflicting
+    // schedule axis; the point records the error instead.
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "experiment",
+      "base": {"workload": "qrca", "bits": 6,
+               "synth": {"maxSyllables": 3},
+               "zeroPerMsOfAverage": 0.5},
+      "axes": [{"field": "schedule",
+                "values": ["arch", "throttled"]}]
+    })"));
+    const SweepReport report = runSweep(spec);
+    EXPECT_EQ(report.failed, 1u);
+    const Json &points = report.doc.at("points");
+    EXPECT_TRUE(points.at(0).has("error"));
+    EXPECT_NE(points.at(0).at("error").asString().find("throttled"),
+              std::string::npos);
+    EXPECT_FALSE(points.at(1).has("error"));
+}
+
+// ---------------------------------------------------------------
+// Shipped specs (single source of truth for the benches)
+// ---------------------------------------------------------------
+
+TEST(ShippedSpecs, ParseAndExpandToExpectedCounts)
+{
+    const struct
+    {
+        const char *file;
+        std::size_t points;
+        const char *runner;
+    } specs[] = {
+        {"/fig4_grid.json", 30, "mc-prep"},
+        {"/fig8_throughput.json", 30, "experiment"},
+        {"/fig15_arch.json", 60, "experiment"},
+        {"/level2_scaling.json", 12, "experiment"},
+        {"/ci_smoke.json", 4, "experiment"},
+    };
+    for (const auto &s : specs) {
+        const SweepSpec spec =
+            SweepSpec::load(std::string(QC_SPEC_DIR) + s.file);
+        EXPECT_EQ(spec.points(), s.points) << s.file;
+        EXPECT_EQ(spec.runner, s.runner) << s.file;
+        EXPECT_EQ(spec.expand().size(), s.points) << s.file;
+    }
+}
+
+// ---------------------------------------------------------------
+// Work-stealing pool
+// ---------------------------------------------------------------
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce)
+{
+    WorkStealingPool pool(4);
+    std::vector<std::atomic<int>> hits(503);
+    pool.run(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkStealingPool, PropagatesTheFirstException)
+{
+    WorkStealingPool pool(2);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.run(64,
+                          [&](std::size_t i) {
+                              if (i == 13)
+                                  throw std::runtime_error("boom");
+                              completed.fetch_add(1);
+                          }),
+                 std::runtime_error);
+    // The failing task does not abandon the rest of the sweep.
+    EXPECT_EQ(completed.load(), 63);
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json trajectory.
+
+Diffs freshly emitted bench JSONs against the committed baselines,
+walking both documents in lockstep:
+
+* Performance metrics (wall-clock trial rates, points/sec, KLOPS,
+  speedups) are machine-dependent, so they are checked in the
+  regression direction only: fresh may be faster without limit, but
+  a slowdown beyond --perf-tol (default 20%) fails.
+* Everything else numeric is deterministic for a fixed seed and
+  must match within --rel-tol (default 1e-9).
+* Wall-clock bookkeeping (wall_seconds, hardware_concurrency) and
+  provenance (config_hash covers it already) are ignored.
+* Shape changes (missing/extra keys, different array lengths or
+  value kinds) always fail: the trajectory files are an interface.
+
+Usage:
+    check_bench_regression.py BASELINE=FRESH [BASELINE=FRESH ...]
+        [--perf-tol 0.2] [--rel-tol 1e-9]
+
+Example (the CI smoke job):
+    python3 tools/check_bench_regression.py \
+        BENCH_fig4_sweep.json=BENCH_fig4_sweep.ci.json \
+        BENCH_mc_engine.json=BENCH_mc_engine.ci.json
+
+Exit status: 0 clean, 1 regression or shape mismatch, 2 usage.
+Standard library only.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Wall-clock performance metrics: regression-only, loose tolerance.
+# (klops is NOT here: it is simulated-time throughput, deterministic
+# for a fixed config, so the exact check gates it more tightly than
+# a 20% band would.)
+PERF_KEY = re.compile(r"_per_sec$")
+
+# Machine/bookkeeping noise: never compared. `speedup` is the ratio
+# of two gated rates — checking it too would double-count noise
+# (a fast scalar baseline run reads as a "batch regression").
+IGNORE_KEY = re.compile(
+    r"(^wall_seconds$|^hardware_concurrency$|^speedup$)")
+
+
+def classify(key):
+    if IGNORE_KEY.search(key):
+        return "ignore"
+    if PERF_KEY.search(key):
+        return "perf"
+    return "exact"
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool)
+
+
+def compare(baseline, fresh, path, args, problems):
+    """Walk both trees; append problem strings to `problems`."""
+    if is_number(baseline) and is_number(fresh):
+        # int vs float is not a shape change: the emitter prints
+        # integral doubles without a decimal point.
+        scale = max(abs(baseline), abs(fresh))
+        if scale and abs(baseline - fresh) / scale > args.rel_tol:
+            problems.append(
+                f"{path}: deterministic metric drifted "
+                f"({baseline} -> {fresh})")
+        return
+    if type(baseline) is not type(fresh):
+        problems.append(
+            f"{path}: kind changed "
+            f"({type(baseline).__name__} -> {type(fresh).__name__})")
+        return
+    if isinstance(baseline, dict):
+        for key in sorted(set(baseline) | set(fresh)):
+            sub = f"{path}.{key}" if path else key
+            if key not in fresh:
+                problems.append(f"{sub}: missing from fresh output")
+            elif key not in baseline:
+                problems.append(f"{sub}: new key not in baseline")
+            elif classify(key) == "ignore":
+                continue
+            elif classify(key) == "perf":
+                check_perf(baseline[key], fresh[key], sub, args,
+                           problems)
+            else:
+                compare(baseline[key], fresh[key], sub, args,
+                        problems)
+    elif isinstance(baseline, list):
+        if len(baseline) != len(fresh):
+            problems.append(
+                f"{path}: length changed "
+                f"({len(baseline)} -> {len(fresh)})")
+            return
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            compare(b, f, f"{path}[{i}]", args, problems)
+    elif isinstance(baseline, bool) or isinstance(baseline, str):
+        if baseline != fresh:
+            problems.append(
+                f"{path}: value changed ({baseline!r} -> {fresh!r})")
+
+
+def check_perf(baseline, fresh, path, args, problems):
+    if not isinstance(baseline, (int, float)) or isinstance(
+            baseline, bool):
+        compare(baseline, fresh, path, args, problems)
+        return
+    if not isinstance(fresh, (int, float)):
+        problems.append(f"{path}: kind changed")
+        return
+    if baseline > 0 and fresh < baseline * (1.0 - args.perf_tol):
+        loss = 100.0 * (1.0 - fresh / baseline)
+        problems.append(
+            f"{path}: perf regression {loss:.1f}% "
+            f"({baseline:.6g} -> {fresh:.6g}, "
+            f"tolerance {100 * args.perf_tol:.0f}%)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("pairs", nargs="+",
+                        metavar="BASELINE=FRESH")
+    parser.add_argument("--perf-tol", type=float, default=0.20,
+                        help="allowed perf regression fraction "
+                             "(default 0.20)")
+    parser.add_argument("--rel-tol", type=float, default=1e-9,
+                        help="relative tolerance for deterministic "
+                             "metrics (default 1e-9)")
+    args = parser.parse_args()
+
+    failures = 0
+    for pair in args.pairs:
+        if "=" not in pair:
+            parser.error(f"expected BASELINE=FRESH, got {pair!r}")
+        baseline_path, fresh_path = pair.split("=", 1)
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+            with open(fresh_path) as f:
+                fresh = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {baseline_path} vs {fresh_path}: {e}")
+            failures += 1
+            continue
+        problems = []
+        compare(baseline, fresh, "", args, problems)
+        if problems:
+            failures += 1
+            print(f"FAIL {baseline_path} vs {fresh_path}: "
+                  f"{len(problems)} problem(s)")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"OK   {baseline_path} vs {fresh_path}")
+
+    if failures:
+        print(f"{failures} of {len(args.pairs)} comparisons failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * qcarch — the one-binary driver for the experiment platform:
+ * every paper artifact (and any scenario the facade can express)
+ * is reproducible from a JSON file and this CLI.
+ *
+ *   qcarch run <config.json> [--out PATH]
+ *       One qc::runExperiment call; prints the full Result JSON
+ *       (stdout, or --out).
+ *
+ *   qcarch sweep <spec.json> [--threads N] [--out PATH] [--quiet]
+ *       Expand and execute a SweepSpec on the parallel sweep
+ *       engine; writes the aggregated document (stdout, or --out).
+ *       Output is bit-identical for a given spec regardless of
+ *       --threads; progress goes to stderr.
+ *
+ *   qcarch list workloads|archs|runners
+ *   qcarch list fields [runner]
+ *       Discover the registries a config/spec may name.
+ *
+ * Exit codes: 0 success, 1 input error (message on stderr),
+ * 2 usage.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/Qc.hh"
+#include "sweep/Sweep.hh"
+
+namespace {
+
+using namespace qc;
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage:\n"
+           "  qcarch run <config.json> [--out PATH]\n"
+           "  qcarch sweep <spec.json> [--threads N] [--out PATH]"
+           " [--quiet]\n"
+           "  qcarch list workloads|archs|runners\n"
+           "  qcarch list fields [runner]\n";
+    return code;
+}
+
+/** Consume "--name value" from args; returns empty if absent. */
+std::string
+takeOption(std::vector<std::string> &args, const std::string &name)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == name) {
+            if (i + 1 >= args.size()) {
+                throw std::invalid_argument(name
+                                            + " needs a value");
+            }
+            std::string value = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+            return value;
+        }
+    }
+    return "";
+}
+
+bool
+takeFlag(std::vector<std::string> &args, const std::string &name)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == name) {
+            args.erase(args.begin() + static_cast<long>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+emit(const Json &doc, const std::string &out)
+{
+    if (out.empty())
+        std::cout << doc.dump() << "\n";
+    else
+        doc.saveFile(out);
+}
+
+int
+cmdRun(std::vector<std::string> args)
+{
+    const std::string out = takeOption(args, "--out");
+    if (args.size() != 1)
+        return usage(std::cerr, 2);
+    const ExperimentConfig config = ExperimentConfig::load(args[0]);
+    emit(runExperiment(config).toJson(), out);
+    return 0;
+}
+
+int
+cmdSweep(std::vector<std::string> args)
+{
+    const std::string out = takeOption(args, "--out");
+    const std::string threads = takeOption(args, "--threads");
+    const bool quiet = takeFlag(args, "--quiet");
+    if (args.size() != 1)
+        return usage(std::cerr, 2);
+
+    const SweepSpec spec = SweepSpec::load(args[0]);
+    SweepOptions options;
+    if (!threads.empty())
+        options.threads = std::stoi(threads);
+    if (!quiet) {
+        options.progress = [](const SweepProgress &p) {
+            // \x1b[K erases the tail of the previous (possibly
+            // longer) progress line after the carriage return.
+            std::cerr << "\r[" << p.done << "/" << p.total << "] "
+                      << p.point->assignment.dump(0)
+                      << (p.cached ? " (cached)" : "") << "\x1b[K"
+                      << (p.done == p.total ? "\n" : "")
+                      << std::flush;
+        };
+    }
+
+    const SweepReport report = runSweep(spec, options);
+    emit(report.doc, out);
+    if (!quiet) {
+        std::cerr << report.points << " points ("
+                  << report.cacheMisses << " executed, "
+                  << report.cacheHits << " cached, "
+                  << report.failed << " failed) in "
+                  << report.wallSeconds << " s\n";
+    }
+    return report.failed == 0 ? 0 : 1;
+}
+
+int
+cmdList(std::vector<std::string> args)
+{
+    if (args.empty())
+        return usage(std::cerr, 2);
+    const std::string what = args[0];
+    if (what == "workloads") {
+        WorkloadRegistry &registry = WorkloadRegistry::instance();
+        for (const std::string &name : registry.names()) {
+            std::cout << name << "  " << registry.description(name)
+                      << "\n";
+        }
+        return 0;
+    }
+    if (what == "archs") {
+        ArchRegistry &registry = ArchRegistry::instance();
+        for (const std::string &key : registry.keys()) {
+            std::cout << key << "  " << registry.get(key).name()
+                      << "\n";
+        }
+        return 0;
+    }
+    if (what == "runners") {
+        SweepRunnerRegistry &registry =
+            SweepRunnerRegistry::instance();
+        for (const std::string &key : registry.keys()) {
+            std::cout << key << "  "
+                      << registry.get(key).description() << "\n";
+        }
+        return 0;
+    }
+    if (what == "fields") {
+        const std::string runner =
+            args.size() > 1 ? args[1] : "experiment";
+        for (const std::string &field :
+             SweepRunnerRegistry::instance().get(runner).fields())
+            std::cout << field << "\n";
+        return 0;
+    }
+    return usage(std::cerr, 2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "run")
+            return cmdRun(std::move(args));
+        if (command == "sweep")
+            return cmdSweep(std::move(args));
+        if (command == "list")
+            return cmdList(std::move(args));
+        if (command == "--help" || command == "help")
+            return usage(std::cout, 0);
+    } catch (const std::exception &e) {
+        std::cerr << "qcarch " << command << ": " << e.what()
+                  << "\n";
+        return 1;
+    }
+    std::cerr << "qcarch: unknown command \"" << command << "\"\n";
+    return usage(std::cerr, 2);
+}
