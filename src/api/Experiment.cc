@@ -270,6 +270,7 @@ Json
 Result::toJson() const
 {
     Json j = Json::object();
+    j.set("schema_version", kResultSchemaVersion);
     j.set("workload", workload);
     j.set("schedule", schedule);
     if (!arch.empty())
@@ -396,6 +397,45 @@ Experiment::Experiment(ExperimentConfig config,
 {
 }
 
+Experiment::Experiment(ExperimentConfig config, SharedWorkload shared)
+    : config_(std::move(config)),
+      shared_(std::move(shared.workload)),
+      sharedGraph_(std::move(shared.graph))
+{
+}
+
+namespace {
+
+/** Owns the workload a DataflowGraph references in place, so an
+ *  aliasing graph pointer keeps both alive together. */
+struct GraphHolder
+{
+    explicit GraphHolder(std::shared_ptr<const Workload> w)
+        : workload(std::move(w)), graph(workload->lowered.circuit)
+    {
+    }
+    std::shared_ptr<const Workload> workload;
+    DataflowGraph graph;
+};
+
+} // namespace
+
+SharedWorkload
+makeSharedWorkload(Workload workload)
+{
+    SharedWorkload out;
+    out.workload =
+        std::make_shared<const Workload>(std::move(workload));
+    // The graph references the workload's circuit in place, so the
+    // graph pointer must co-own the workload: alias into a holder
+    // that keeps both alive even if only `graph` is retained.
+    auto holder =
+        std::make_shared<const GraphHolder>(out.workload);
+    out.graph = std::shared_ptr<const DataflowGraph>(
+        holder, &holder->graph);
+    return out;
+}
+
 const Workload &
 Experiment::workload()
 {
@@ -407,6 +447,16 @@ Experiment::workload()
             config_.workload, *synth_, config_.params);
     }
     return *workload_;
+}
+
+const DataflowGraph &
+Experiment::graph()
+{
+    if (sharedGraph_)
+        return *sharedGraph_;
+    if (!graph_)
+        graph_.emplace(workload().lowered.circuit);
+    return *graph_;
 }
 
 const Experiment::Analytics &
@@ -435,7 +485,7 @@ Experiment::analytics(const ExperimentConfig &variant)
         // operation with the recursive effective latencies.
         const EncodedOpModel model(ConcatenatedSteane::effectiveTech(
             tech, variant.codeLevel));
-        const DataflowGraph &graph = *graph_;
+        const DataflowGraph &graph = this->graph();
         Analytics out;
         out.tech = tech;
         out.codeLevel = variant.codeLevel;
@@ -519,9 +569,7 @@ Experiment::run(const ExperimentConfig &variant)
     const Workload &w = workload();
     const EncodedOpModel model(ConcatenatedSteane::effectiveTech(
         variant.tech, variant.codeLevel));
-    if (!graph_)
-        graph_.emplace(w.lowered.circuit);
-    const DataflowGraph &graph = *graph_;
+    const DataflowGraph &graph = this->graph();
 
     Result result;
     result.workload = w.name;

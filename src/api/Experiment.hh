@@ -192,6 +192,16 @@ struct ExperimentConfig
 };
 
 /**
+ * Version of the Result / sweep-document JSON payload. History:
+ * 1 was the original facade shape (PR 2); 2 added the gated
+ * level-2 keys (code_level, inter-level factory fields — present
+ * only on concatenated runs, so level-1 payloads stayed stable)
+ * and made the version explicit as "schema_version". Consumers
+ * should treat missing "schema_version" as 1.
+ */
+inline constexpr int kResultSchemaVersion = 2;
+
+/**
  * Structured outcome of one experiment: the Table 2/3 analytics,
  * the Figure 7 demand profile, the Table 9 factory sizing, and the
  * makespan under the configured schedule.
@@ -248,6 +258,27 @@ struct Result
 };
 
 /**
+ * An immutable workload bundle shared across many experiments: the
+ * built workload plus the dependency DAG over its lowered circuit.
+ * The graph references the workload's circuit in place;
+ * makeSharedWorkload therefore builds `graph` as an aliasing
+ * pointer that co-owns the workload, so retaining either pointer
+ * keeps everything it references alive. Build one with
+ * makeSharedWorkload or through the sweep engine's cross-point
+ * cache (SweepContext::workload). Everything here is const —
+ * concurrent experiments may read it freely.
+ */
+struct SharedWorkload
+{
+    std::shared_ptr<const Workload> workload;
+    /** DataflowGraph over workload->lowered.circuit. */
+    std::shared_ptr<const DataflowGraph> graph;
+};
+
+/** Bundle an already-built workload with its dataflow graph. */
+SharedWorkload makeSharedWorkload(Workload workload);
+
+/**
  * Builds the workload once (with its synthesis cache) and runs one
  * or more schedule variants against it.
  */
@@ -271,6 +302,18 @@ class Experiment
      */
     Experiment(ExperimentConfig config,
                std::shared_ptr<const Workload> workload);
+
+    /**
+     * Const-shared-workload mode: share both the workload and its
+     * dataflow graph, so the experiment performs *no* per-point
+     * synthesis, copy or graph construction at all — the mode large
+     * sweeps run in (every point of a Table 5-8-scale grid reuses
+     * one immutable bundle). shared.graph must be the DAG over
+     * shared.workload->lowered.circuit (makeSharedWorkload
+     * guarantees this). Results are bit-identical to the other
+     * construction modes.
+     */
+    Experiment(ExperimentConfig config, SharedWorkload shared);
 
     /**
      * Non-copyable/movable: the cached DataflowGraph references the
@@ -323,10 +366,15 @@ class Experiment
 
     const Analytics &analytics(const ExperimentConfig &variant);
 
+    /** The dependency DAG: the shared one when provided, else
+     *  built lazily over the cached workload's circuit. */
+    const DataflowGraph &graph();
+
     ExperimentConfig config_;
     std::optional<FowlerSynth> synth_;
     std::optional<Workload> workload_;
     std::shared_ptr<const Workload> shared_; ///< takes precedence
+    std::shared_ptr<const DataflowGraph> sharedGraph_;
     std::optional<DataflowGraph> graph_;
     std::optional<Analytics> analytics_;
 };

@@ -86,6 +86,47 @@ class SteaneCode
     }
 
     /**
+     * Parity-aware perfect decode: the minimal-weight error pattern
+     * with the given Hamming syndrome AND logical-readout parity.
+     * Both quantities are observable on a transversal readout word
+     * (the syndrome from the Hamming checks, the parity from the
+     * logical operator), and together they pin the error's coset:
+     * applying the returned mask always leaves a *stabilizer*
+     * residual, never a logical one.
+     *
+     * This is the fix-up the ApplyFix correction semantics must use.
+     * Decoding from the syndrome alone (correctionFor) turns a
+     * correlated weight-2 error — a single mid-encoder fault fans
+     * out to two qubits — into a weight-3 logical operator: the
+     * weight-2 pattern has a non-trivial syndrome but *even* parity,
+     * so the single-qubit "fix" completes it to a logical
+     * representative. That first-order failure path is what pushed
+     * Verify-and-Correct under ApplyFix to Correct-Only rates
+     * (~1e-3) instead of the paper's 2.9e-5 (Fig 4c).
+     *
+     * Shapes: odd parity and syndrome s != 0 is the weight-1 flip of
+     * qubit s-1; odd parity with s == 0 is a weight-3 logical
+     * representative; even parity with s != 0 is a weight-2 pattern
+     * (columns pair to s); even parity with s == 0 needs no fix.
+     */
+    static Mask
+    fixFor(unsigned syndrome, bool oddParity)
+    {
+        if (!oddParity) {
+            if (syndrome == 0)
+                return Mask{0};
+            if (syndrome == 1)
+                return Mask{0b110}; // columns 2^3 = 1
+            // Column 1 (qubit 0) paired with column syndrome^1.
+            return static_cast<Mask>(
+                Mask{1} | (Mask{1} << ((syndrome ^ 1u) - 1)));
+        }
+        if (syndrome == 0)
+            return Mask{0b111}; // columns 1^2^3 = 0, odd weight
+        return static_cast<Mask>(Mask{1} << (syndrome - 1));
+    }
+
+    /**
      * True iff the error pattern, after perfect syndrome decoding,
      * leaves a *logical* operator (uncorrectable error). The
      * residual always has trivial syndrome, so it is either a

@@ -204,8 +204,13 @@ AncillaPrepSimulator::bitCorrect(int base_a, int base_b)
             measured |= SteaneCode::Mask{1} << q;
     }
     if (semantics_ == CorrectionSemantics::ApplyFix) {
+        // Parity-aware fix-up: the readout word's logical parity
+        // disambiguates the coset, so correlated even-parity
+        // patterns get a (stabilizer-residual) multi-qubit patch
+        // instead of being "completed" into a logical operator.
         const SteaneCode::Mask fix =
-            SteaneCode::correctionFor(SteaneCode::syndromeOf(measured));
+            SteaneCode::fixFor(SteaneCode::syndromeOf(measured),
+                               SteaneCode::parity(measured));
         for (int q = 0; q < SteaneCode::numPhysical; ++q) {
             if (fix & (SteaneCode::Mask{1} << q)) {
                 frame_.flipX(base_a + q);
@@ -238,8 +243,10 @@ AncillaPrepSimulator::phaseCorrect(int base_a, int base_c)
             measured |= SteaneCode::Mask{1} << q;
     }
     if (semantics_ == CorrectionSemantics::ApplyFix) {
+        // Same parity-aware decode as the bit stage (see there).
         const SteaneCode::Mask fix =
-            SteaneCode::correctionFor(SteaneCode::syndromeOf(measured));
+            SteaneCode::fixFor(SteaneCode::syndromeOf(measured),
+                               SteaneCode::parity(measured));
         for (int q = 0; q < SteaneCode::numPhysical; ++q) {
             if (fix & (SteaneCode::Mask{1} << q)) {
                 frame_.flipZ(base_a + q);
@@ -254,6 +261,45 @@ AncillaPrepSimulator::phaseCorrect(int base_a, int base_c)
         return false;
     }
     return true;
+}
+
+void
+AncillaPrepSimulator::phaseCorrectConfirmed(int base_a, int base_c)
+{
+    bool have = false;
+    unsigned prev_s = 0;
+    bool prev_p = false;
+    for (;;) {
+        prepareBlock(base_c, /*verified=*/true);
+        ++correctionAttempts_;
+
+        // One Z-syndrome extraction, as in phaseCorrect.
+        for (int q = 0; q < SteaneCode::numPhysical; ++q)
+            gateCx(base_c + q, base_a + q);
+        SteaneCode::Mask measured = 0;
+        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+            if (measureXFlip(base_c + q))
+                measured |= SteaneCode::Mask{1} << q;
+        }
+        const unsigned s = SteaneCode::syndromeOf(measured);
+        const bool p = SteaneCode::parity(measured);
+
+        if (have && s == prev_s && p == prev_p) {
+            // Confirmed: apply the parity-aware minimal-weight
+            // patch (one gate error per patched qubit).
+            const SteaneCode::Mask fix = SteaneCode::fixFor(s, p);
+            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                if (fix & (SteaneCode::Mask{1} << q)) {
+                    frame_.flipZ(base_a + q);
+                    frame_.inject1q(rng_, errors_.pGate, base_a + q);
+                }
+            }
+            return;
+        }
+        have = true;
+        prev_s = s;
+        prev_p = p;
+    }
 }
 
 PrepOutcome
@@ -287,12 +333,23 @@ AncillaPrepSimulator::simulateOnce(ZeroPrepStrategy strategy)
         // ancillae are cheap to re-encode, Section 3). Bit
         // correction runs first, so Z junk copied onto A by block B
         // is still screened by the phase stage (Fig 2's ordering).
+        // Under ApplyFix a verified pipeline must not trust a
+        // single Z-syndrome extraction (the ancilla's correlated Z
+        // errors are invisible to verification and would be patched
+        // onto A): the phase patch requires two consecutive
+        // agreeing extractions instead.
+        const bool confirmed = verified
+            && semantics_ == CorrectionSemantics::ApplyFix;
         for (;;) {
             frame_.clear();
             prepareBlock(blockA, verified);
             prepareBlock(blockB, verified);
             if (!bitCorrect(blockA, blockB))
                 continue;
+            if (confirmed) {
+                phaseCorrectConfirmed(blockA, blockC);
+                break;
+            }
             prepareBlock(blockC, verified);
             if (!phaseCorrect(blockA, blockC))
                 continue;
@@ -340,13 +397,19 @@ AncillaPrepSimulator::simulatePi8Once()
     frame_.clear();
     const std::uint64_t fails_before = verifyFailures_;
 
-    // High-fidelity encoded zero input (Fig 4c).
+    // High-fidelity encoded zero input (Fig 4c); ApplyFix instances
+    // confirm the phase patch by repeated extraction, as in
+    // simulateOnce.
     for (;;) {
         frame_.clear();
         prepareBlock(blockA, true);
         prepareBlock(blockB, true);
         if (!bitCorrect(blockA, blockB))
             continue;
+        if (semantics_ == CorrectionSemantics::ApplyFix) {
+            phaseCorrectConfirmed(blockA, blockC);
+            break;
+        }
         prepareBlock(blockC, true);
         if (!phaseCorrect(blockA, blockC))
             continue;

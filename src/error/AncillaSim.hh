@@ -187,6 +187,20 @@ class AncillaPrepSimulator
     /** Phase-correction stage (Z syndrome via X-basis readout). */
     bool phaseCorrect(int baseA, int baseC);
 
+    /**
+     * ApplyFix phase correction for verified pipelines: Shor-style
+     * repeated syndrome extraction. Fresh verified ancillas extract
+     * the Z syndrome (and logical readout parity) until two
+     * consecutive extractions agree; only then is the decoded patch
+     * (SteaneCode::fixFor) applied. A single fault — in an ancilla,
+     * a coupling, or a readout — corrupts at most one extraction
+     * and so can never confirm a wrong multi-qubit patch, closing
+     * the first-order path where an ancilla's correlated Z errors
+     * (which verification cannot screen) would be patched onto the
+     * output block. Each extraction tallies a correction attempt.
+     */
+    void phaseCorrectConfirmed(int baseA, int baseC);
+
     /** Movement error charges. */
     void chargeCxMovement(int a, int b);
     void chargeMeasMovement(int q);

@@ -56,7 +56,9 @@ class BatchWorker
           frame_(frameQubits, words), meas_(7 * wv()), active_(wv()),
           pending_(wv()), survivors_(wv()), done_(wv()), ok_(wv()),
           prepMask_(wv()), flip_(wv()), measTmp_(wv()), eq_(wv()),
-          coin_(wv())
+          parity_(wv()), confirm_(wv()), have_(wv()), agree_(wv()),
+          prevS0_(wv()), prevS1_(wv()), prevS2_(wv()),
+          prevP_(wv()), coin_(wv())
     {
     }
 
@@ -172,6 +174,13 @@ class BatchWorker
     void
     drainCorrectedPrep(const Word *active, bool verified, bool tally)
     {
+        // Under ApplyFix a verified pipeline must not trust a
+        // single Z-syndrome extraction (the ancilla's correlated Z
+        // errors are invisible to verification and would be patched
+        // onto A): the phase patch requires two consecutive
+        // agreeing extractions instead (phaseCorrectConfirmed).
+        const bool confirmed = verified
+            && semantics_ == CorrectionSemantics::ApplyFix;
         std::copy(active, active + words_, pending_.begin());
         while (any(pending_.data(), words_)) {
             prepareBlock(blockA, verified, pending_.data());
@@ -179,14 +188,19 @@ class BatchWorker
             correctStage(false, blockA, blockB, pending_.data());
             for (int w = 0; w < words_; ++w)
                 survivors_[w] = pending_[w] & ok_[w];
-            if (any(survivors_.data(), words_)) {
+            if (!any(survivors_.data(), words_)) {
+                std::fill(done_.begin(), done_.end(), Word{0});
+            } else if (confirmed) {
+                phaseCorrectConfirmed(blockA, blockC,
+                                      survivors_.data());
+                std::copy(survivors_.begin(), survivors_.end(),
+                          done_.begin());
+            } else {
                 prepareBlock(blockC, verified, survivors_.data());
                 correctStage(true, blockA, blockC,
                              survivors_.data());
                 for (int w = 0; w < words_; ++w)
                     done_[w] = survivors_[w] & ok_[w];
-            } else {
-                std::fill(done_.begin(), done_.end(), Word{0});
             }
             if (tally)
                 classifyTally(done_.data());
@@ -351,20 +365,7 @@ class BatchWorker
         }
 
         if (semantics_ == CorrectionSemantics::ApplyFix) {
-            // Scatter the decoded fix: for each qubit q, the trials
-            // whose Hamming syndrome equals q+1 get the patch (and
-            // its gate error) on qubit q.
-            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-                syndromeEquals(static_cast<unsigned>(q) + 1, m);
-                if (!any(eq_.data(), words_))
-                    continue;
-                if (phase)
-                    frame_.flipZ(base_a + q, eq_.data());
-                else
-                    frame_.flipX(base_a + q, eq_.data());
-                frame_.inject1q(rng_, pGate_, base_a + q,
-                                eq_.data());
-            }
+            applyFixScatter(phase, base_a, m);
             std::copy(m, m + words_, ok_.begin());
             return;
         }
@@ -381,6 +382,108 @@ class BatchWorker
             correctionFailures += static_cast<std::uint64_t>(
                 __builtin_popcountll(bad));
             ok_[w] = m[w] & ~bad;
+        }
+    }
+
+    /**
+     * Parity-aware patch scatter from the current meas_ readout
+     * (SteaneCode::fixFor): over the 15 non-trivial (syndrome,
+     * parity) readout classes, trials in a class get the decoded
+     * minimal-weight patch (one gate error per patched qubit) on
+     * block A — X patches for the bit stage, Z for the phase
+     * stage. The patch matches the readout's coset, so correlated
+     * even-parity patterns are not "completed" into logical
+     * operators (the first-order failure path of a syndrome-only
+     * single-qubit decode).
+     */
+    void
+    applyFixScatter(bool phase, int base_a, const Word *m)
+    {
+        for (int w = 0; w < words_; ++w) {
+            Word parity = 0;
+            for (int q = 0; q < SteaneCode::numPhysical; ++q)
+                parity ^= meas_[static_cast<std::size_t>(q) * wv()
+                                + static_cast<std::size_t>(w)];
+            parity_[static_cast<std::size_t>(w)] = parity;
+        }
+        for (int odd = 1; odd >= 0; --odd) {
+            for (unsigned s = 0; s < 8; ++s) {
+                const SteaneCode::Mask fix =
+                    SteaneCode::fixFor(s, odd != 0);
+                if (!fix)
+                    continue;
+                syndromeEquals(s, m);
+                for (int w = 0; w < words_; ++w) {
+                    const Word p =
+                        parity_[static_cast<std::size_t>(w)];
+                    eq_[static_cast<std::size_t>(w)] &=
+                        odd ? p : ~p;
+                }
+                if (!any(eq_.data(), words_))
+                    continue;
+                for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                    if (!(fix & (SteaneCode::Mask{1} << q)))
+                        continue;
+                    if (phase)
+                        frame_.flipZ(base_a + q, eq_.data());
+                    else
+                        frame_.flipX(base_a + q, eq_.data());
+                    frame_.inject1q(rng_, pGate_, base_a + q,
+                                    eq_.data());
+                }
+            }
+        }
+    }
+
+    /**
+     * ApplyFix phase correction for verified pipelines: Shor-style
+     * repeated syndrome extraction, mirroring the scalar engine's
+     * phaseCorrectConfirmed. Each round preps a fresh verified
+     * ancilla for the still-unconfirmed trials, extracts (syndrome,
+     * parity), and patches the trials whose extraction agrees with
+     * their previous one; the rest carry the new readout into the
+     * next round. Each extraction tallies a correction attempt.
+     */
+    void
+    phaseCorrectConfirmed(int base_a, int base_c, const Word *m)
+    {
+        std::copy(m, m + words_, confirm_.begin());
+        std::fill(have_.begin(), have_.end(), Word{0});
+        while (any(confirm_.data(), words_)) {
+            prepareBlock(base_c, /*verified=*/true,
+                         confirm_.data());
+            correctionAttempts += popcount(confirm_.data(), words_);
+            for (int q = 0; q < SteaneCode::numPhysical; ++q)
+                gateCx(base_c + q, base_a + q, confirm_.data());
+            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                Word *out =
+                    &meas_[static_cast<std::size_t>(q) * wv()];
+                measureXFlip(base_c + q, confirm_.data(), out);
+            }
+            for (int w = 0; w < words_; ++w) {
+                const Word s0 = syndromeWord(0, w);
+                const Word s1 = syndromeWord(1, w);
+                const Word s2 = syndromeWord(2, w);
+                Word parity = 0;
+                for (int q = 0; q < SteaneCode::numPhysical; ++q)
+                    parity ^=
+                        meas_[static_cast<std::size_t>(q) * wv()
+                              + static_cast<std::size_t>(w)];
+                agree_[w] = confirm_[w] & have_[w]
+                    & ~((s0 ^ prevS0_[w]) | (s1 ^ prevS1_[w])
+                        | (s2 ^ prevS2_[w]) | (parity ^ prevP_[w]));
+                prevS0_[w] = s0;
+                prevS1_[w] = s1;
+                prevS2_[w] = s2;
+                prevP_[w] = parity;
+                have_[w] |= confirm_[w];
+            }
+            if (any(agree_.data(), words_)) {
+                applyFixScatter(/*phase=*/true, base_a,
+                                agree_.data());
+                for (int w = 0; w < words_; ++w)
+                    confirm_[w] &= ~agree_[w];
+            }
         }
     }
 
@@ -469,6 +572,16 @@ class BatchWorker
     std::vector<Word> flip_;
     std::vector<Word> measTmp_;
     std::vector<Word> eq_;
+    std::vector<Word> parity_; ///< logical readout parity per trial
+    // Confirmed phase-correction state (syndrome bits + parity of
+    // the previous extraction, per trial).
+    std::vector<Word> confirm_; ///< trials awaiting confirmation
+    std::vector<Word> have_;    ///< trials with a previous readout
+    std::vector<Word> agree_;   ///< trials whose extractions agree
+    std::vector<Word> prevS0_;
+    std::vector<Word> prevS1_;
+    std::vector<Word> prevS2_;
+    std::vector<Word> prevP_;
     std::vector<Word> coin_;
 };
 

@@ -15,6 +15,7 @@
  * point under a "points" array):
  *
  *     {
+ *       "schema_version": 2,
  *       "sweep": "<spec name>",
  *       "runner": "<runner key>",
  *       ...runner metadata ("engine": ...),
@@ -44,6 +45,7 @@ struct SweepProgress
     /** The point that just finished. */
     const SweepPoint *point = nullptr;
     bool cached = false;   ///< satisfied from the memo cache
+    bool resumed = false;  ///< satisfied from the resume document
 };
 
 /** Execution knobs; the spec itself stays machine-independent. */
@@ -55,6 +57,39 @@ struct SweepOptions
 
     /** Progress sink; called serially, may be empty. */
     std::function<void(const SweepProgress &)> progress;
+
+    /**
+     * A previous sweep output to resume from (`qcarch sweep
+     * --resume`): points whose configuration already appears in it
+     * — matched by the full canonical config of the resume
+     * document's own spec expansion, with the stored config_hash
+     * cross-checked — are served from the stored results instead
+     * of re-executing. Stored points carrying an {"error": ...}
+     * are re-run. The aggregated document is byte-identical to a
+     * fresh single-shot run of the same spec: resume accounting is
+     * reported only out-of-band in SweepReport. The document must
+     * come from the same runner (and engine version); malformed or
+     * truncated documents throw std::invalid_argument. Not owned;
+     * must outlive runSweep.
+     */
+    const Json *resume = nullptr;
+
+    /**
+     * Crash durability: when non-empty, the engine periodically
+     * writes the aggregated document to this path during the run
+     * (atomic write-then-rename, so a kill never leaves torn
+     * JSON). Not-yet-computed points are recorded as
+     * {"error": "interrupted: ..."} stubs, which a later `resume`
+     * of the same file re-runs — so a killed sweep restarts from
+     * exactly the points it finished. `qcarch sweep --out X`
+     * checkpoints to X. The final checkpoint equals the final
+     * document.
+     */
+    std::string checkpointPath;
+
+    /** Minimum seconds between checkpoint writes (0 = write after
+     *  every completed point). */
+    double checkpointSeconds = 5.0;
 };
 
 /** Outcome of one sweep run. */
@@ -63,16 +98,19 @@ struct SweepReport
     Json doc;                   ///< the aggregated document
     std::size_t points = 0;     ///< expanded point count
     std::size_t cacheHits = 0;  ///< points served from the memo
-    std::size_t cacheMisses = 0;///< points actually executed
+    std::size_t cacheMisses = 0;///< unique points (memo misses)
+    std::size_t resumed = 0;    ///< unique points from the resume doc
+    std::size_t executed = 0;   ///< unique points actually run
     std::size_t failed = 0;     ///< points that threw (see "error")
     double wallSeconds = 0;     ///< not part of doc (determinism)
 };
 
 /**
  * Expand and execute a sweep. Spec-shape problems (unknown runner
- * or axis fields, zip mismatches) throw std::invalid_argument;
- * per-point execution errors are recorded on the point as
- * {"error": message} and counted in SweepReport::failed.
+ * or axis fields, zip mismatches), zero-point specs and malformed
+ * resume documents throw std::invalid_argument; per-point
+ * execution errors are recorded on the point as {"error": message}
+ * and counted in SweepReport::failed.
  */
 SweepReport runSweep(const SweepSpec &spec,
                      const SweepOptions &options = {});

@@ -70,8 +70,7 @@ class ExperimentRunner : public SweepRunner
              SweepContext &context) const override
     {
         const ExperimentConfig c = ExperimentConfig::fromJson(config);
-        std::shared_ptr<const Workload> workload =
-            context.workload(c);
+        SharedWorkload workload = context.workload(c);
 
         // Figure 8-style derived throttling: a supply rate given as
         // a fraction of this workload's own average bandwidth at
@@ -226,12 +225,12 @@ class McPrepRunner : public SweepRunner
 
 } // namespace
 
-std::shared_ptr<const Workload>
+SharedWorkload
 SweepContext::workload(const ExperimentConfig &config)
 {
     const std::string key = config.workloadKey();
-    std::promise<std::shared_ptr<const Workload>> promise;
-    std::shared_future<std::shared_ptr<const Workload>> future;
+    std::promise<SharedWorkload> promise;
+    std::shared_future<SharedWorkload> future;
     bool builder = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -248,11 +247,12 @@ SweepContext::workload(const ExperimentConfig &config)
     // not serialize unrelated lookups.
     if (!builder)
         return future.get();
-    // First requester builds (synthesis included); concurrent
-    // requesters for the same workload block on the future above.
+    // First requester builds (synthesis, lowering and the dataflow
+    // graph); concurrent requesters for the same workload block on
+    // the future above.
     try {
         FowlerSynth synth(config.synth);
-        auto built = std::make_shared<const Workload>(
+        SharedWorkload built = makeSharedWorkload(
             WorkloadRegistry::instance().build(
                 config.workload, synth, config.params));
         promise.set_value(built);
@@ -273,9 +273,8 @@ SweepContext::workloadsBuilt()
 }
 
 BandwidthPerMs
-SweepContext::averageZeroBandwidth(
-    const ExperimentConfig &config,
-    std::shared_ptr<const Workload> workload)
+SweepContext::averageZeroBandwidth(const ExperimentConfig &config,
+                                   SharedWorkload workload)
 {
     // Normalize away the supply knobs: fraction points differing
     // only in their throttle share one yardstick entry.

@@ -46,15 +46,17 @@ namespace qc {
 /**
  * Shared state one sweep run threads through its points: the
  * cross-point workload cache. Thread-safe; the first point to need
- * a workload builds it (synthesis and all), concurrent requests for
- * the same workload block on that one build.
+ * a workload builds it — synthesis, lowering AND the dataflow
+ * graph over the lowered circuit — and every other point shares
+ * the immutable SharedWorkload bundle (no per-point synthesis,
+ * copy or graph construction). Concurrent requests for the same
+ * workload block on that one build.
  */
 class SweepContext
 {
   public:
-    /** The built workload for the config's workloadKey(). */
-    std::shared_ptr<const Workload>
-    workload(const ExperimentConfig &config);
+    /** The built workload bundle for the config's workloadKey(). */
+    SharedWorkload workload(const ExperimentConfig &config);
 
     /** Distinct workloads built so far. */
     std::size_t workloadsBuilt();
@@ -69,12 +71,11 @@ class SweepContext
      */
     BandwidthPerMs
     averageZeroBandwidth(const ExperimentConfig &config,
-                         std::shared_ptr<const Workload> workload);
+                         SharedWorkload workload);
 
   private:
     std::mutex mutex_;
-    std::map<std::string,
-             std::shared_future<std::shared_ptr<const Workload>>>
+    std::map<std::string, std::shared_future<SharedWorkload>>
         cache_;
     std::map<std::string, BandwidthPerMs> bandwidth_;
 };

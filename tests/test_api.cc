@@ -615,11 +615,42 @@ TEST(Experiment, ResultJsonHasTheContractedSections)
     config.demandBins = 5;
     const Json j = runExperiment(config).toJson();
     for (const char *key :
-         {"workload", "schedule", "circuit", "latency_split",
-          "bandwidth", "demand_profile", "factories", "run"})
+         {"schema_version", "workload", "schedule", "circuit",
+          "latency_split", "bandwidth", "demand_profile",
+          "factories", "run"})
         EXPECT_TRUE(j.has(key)) << key;
     EXPECT_EQ(j.at("demand_profile").size(), 5u);
     EXPECT_EQ(j.at("run").at("completed").asBool(), true);
+}
+
+TEST(Experiment, SchemaVersionIsTheOnlyTopLevelAddition)
+{
+    // The schema_version field closes the PR 3 note ("revisit if a
+    // schema version field lands"): level-1 payloads must remain
+    // byte-identical apart from this single new key. Pin the exact
+    // top-level key set — any other addition is a schema change
+    // and must bump kResultSchemaVersion.
+    ExperimentConfig config;
+    config.workload = "chain";
+    config.params.bits = 6;
+    const Json j = runExperiment(config).toJson();
+    EXPECT_EQ(j.at("schema_version").asInt(), kResultSchemaVersion);
+
+    const std::vector<std::string> expected = {
+        "bandwidth",      "circuit", "demand_profile",
+        "factories",      "latency_split",
+        "run",            "schedule", "schema_version",
+        "workload"};
+    std::vector<std::string> actual;
+    for (const auto &[key, value] : j.items())
+        actual.push_back(key);
+    EXPECT_EQ(actual, expected);
+
+    // Level-1 sweep summaries (the per-point payload) are
+    // unchanged entirely: the sweep document carries the version
+    // once at top level instead of per point.
+    const Json summary = runExperiment(config).summaryJson();
+    EXPECT_FALSE(summary.has("schema_version"));
 }
 
 } // namespace

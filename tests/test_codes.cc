@@ -106,6 +106,38 @@ TEST(Steane, VerifyMaskIsLogicalZRepresentative)
     EXPECT_EQ(__builtin_popcount(SteaneCode::verifyMask), 3);
 }
 
+TEST(Steane, ParityAwareFixLeavesStabilizerResidual)
+{
+    // The ApplyFix decode: for every possible readout word, the fix
+    // matches both the Hamming syndrome and the logical parity, so
+    // the residual is always a stabilizer — never a logical
+    // operator. (The syndrome-only decode fails this for every
+    // even-parity word with a non-trivial syndrome: it "completes"
+    // a weight-2 error into a weight-3 logical.)
+    for (unsigned e = 0; e < 128; ++e) {
+        const auto m = static_cast<Mask>(e);
+        const Mask fix = SteaneCode::fixFor(
+            SteaneCode::syndromeOf(m), SteaneCode::parity(m));
+        const auto residual = static_cast<Mask>(m ^ fix);
+        EXPECT_EQ(SteaneCode::cosetMinWeight(residual), 0)
+            << "readout=" << e;
+        // The fix itself lives in the readout's coset.
+        EXPECT_EQ(SteaneCode::syndromeOf(fix),
+                  SteaneCode::syndromeOf(m));
+        EXPECT_EQ(SteaneCode::parity(fix), SteaneCode::parity(m));
+    }
+    // Minimal weights per class: nothing, single flip, weight-2
+    // even-parity pattern, weight-3 logical representative.
+    EXPECT_EQ(SteaneCode::fixFor(0, false), 0);
+    for (unsigned s = 1; s < 8; ++s) {
+        EXPECT_EQ(__builtin_popcount(SteaneCode::fixFor(s, true)),
+                  1);
+        EXPECT_EQ(__builtin_popcount(SteaneCode::fixFor(s, false)),
+                  2);
+    }
+    EXPECT_EQ(__builtin_popcount(SteaneCode::fixFor(0, true)), 3);
+}
+
 TEST(Steane, TransversalityClassification)
 {
     // Section 2.1: CX, X, Y, Z, Phase, Hadamard transversal; pi/8

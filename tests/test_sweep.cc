@@ -498,6 +498,270 @@ TEST(SweepRunners, ZeroPerMsOfAverageRejectsNonThrottledSchedule)
 }
 
 // ---------------------------------------------------------------
+// Resume: interrupted sweeps restart incrementally and the merged
+// document is byte-identical to a fresh single-shot run.
+// ---------------------------------------------------------------
+
+namespace resume_specs {
+
+const char *kHalf = R"({
+  "name": "resume",
+  "runner": "mc-prep",
+  "base": {"trials": 20000, "seed": 7},
+  "axes": [
+    {"field": "strategy", "values": ["basic"]},
+    {"field": "pGate", "values": [1e-4, 3e-4]}
+  ]
+})";
+
+const char *kFull = R"({
+  "name": "resume",
+  "runner": "mc-prep",
+  "base": {"trials": 20000, "seed": 7},
+  "axes": [
+    {"field": "strategy", "values": ["basic", "verify_only"]},
+    {"field": "pGate", "values": [1e-4, 3e-4]}
+  ]
+})";
+
+} // namespace resume_specs
+
+TEST(SweepResume, HalfRunThenResumeIsByteIdenticalToFreshRun)
+{
+    // "Interrupt at half": run the first half of the grid as its
+    // own sweep, then hand its output to the full sweep as the
+    // resume document.
+    const SweepSpec half =
+        SweepSpec::fromJson(parse(resume_specs::kHalf));
+    const SweepSpec full =
+        SweepSpec::fromJson(parse(resume_specs::kFull));
+    const SweepReport halfReport = runSweep(half);
+
+    SweepOptions options;
+    options.resume = &halfReport.doc;
+    const SweepReport resumed = runSweep(full, options);
+    const SweepReport fresh = runSweep(full);
+
+    EXPECT_EQ(resumed.doc.dump(), fresh.doc.dump());
+    // Memo/skip accounting: 2 of the 4 unique points came from the
+    // file, the other 2 executed; the memo split is unchanged.
+    EXPECT_EQ(resumed.points, 4u);
+    EXPECT_EQ(resumed.resumed, 2u);
+    EXPECT_EQ(resumed.executed, 2u);
+    EXPECT_EQ(resumed.cacheMisses, 4u);
+    EXPECT_EQ(fresh.resumed, 0u);
+    EXPECT_EQ(fresh.executed, 4u);
+    // The resumed document carries no trace of the resume (it is
+    // byte-identical), and documents declare their schema.
+    EXPECT_EQ(resumed.doc.at("schema_version").asInt(),
+              kResultSchemaVersion);
+}
+
+TEST(SweepResume, FullResumeExecutesNothing)
+{
+    const SweepSpec full =
+        SweepSpec::fromJson(parse(resume_specs::kFull));
+    const SweepReport fresh = runSweep(full);
+    SweepOptions options;
+    options.resume = &fresh.doc;
+    const SweepReport resumed = runSweep(full, options);
+    EXPECT_EQ(resumed.executed, 0u);
+    EXPECT_EQ(resumed.resumed, 4u);
+    EXPECT_EQ(resumed.doc.dump(), fresh.doc.dump());
+}
+
+TEST(SweepResume, CheckpointFileResumesAKilledRun)
+{
+    // A genuinely killed run leaves only the checkpoint file. With
+    // checkpointSeconds = 0 and one thread, the file after point 2
+    // is exactly the "killed half-way" state: two finished points,
+    // two {"error": "interrupted"} stubs. Resuming from it must
+    // execute exactly the stubs and reproduce the fresh document
+    // byte-for-byte.
+    const SweepSpec full =
+        SweepSpec::fromJson(parse(resume_specs::kFull));
+    const std::string path =
+        ::testing::TempDir() + "qc_sweep_checkpoint.json";
+    SweepOptions options;
+    options.threads = 1;
+    options.checkpointPath = path;
+    options.checkpointSeconds = 0;
+    Json killed;
+    options.progress = [&](const SweepProgress &p) {
+        if (p.done == 2)
+            killed = Json::loadFile(path);
+    };
+    const SweepReport fresh = runSweep(full, options);
+
+    ASSERT_TRUE(killed.isObject());
+    std::size_t interrupted = 0;
+    for (std::size_t i = 0; i < killed.at("points").size(); ++i)
+        interrupted += killed.at("points").at(i).has("error");
+    EXPECT_EQ(interrupted, 2u);
+
+    SweepOptions resumeOptions;
+    resumeOptions.resume = &killed;
+    const SweepReport resumed = runSweep(full, resumeOptions);
+    EXPECT_EQ(resumed.resumed, 2u);
+    EXPECT_EQ(resumed.executed, 2u);
+    EXPECT_EQ(resumed.failed, 0u);
+    EXPECT_EQ(resumed.doc.dump(), fresh.doc.dump());
+
+    // The final checkpoint equals the final document.
+    EXPECT_EQ(Json::loadFile(path).dump(), fresh.doc.dump());
+}
+
+TEST(SweepResume, AssignmentShapeChangesReExecuteInsteadOfDrifting)
+{
+    // Same merged config, different axis assignment (the value
+    // moved from an axis into the base between runs): replaying
+    // the stored object would change the output shape, so the
+    // point must re-execute — byte-identity beats reuse.
+    const SweepSpec prior = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 20000, "seed": 7},
+      "axes": [
+        {"field": "strategy", "values": ["basic"]},
+        {"field": "pGate", "values": [1e-4]}
+      ]
+    })"));
+    const SweepSpec reshaped = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 20000, "seed": 7, "strategy": "basic"},
+      "axes": [{"field": "pGate", "values": [1e-4]}]
+    })"));
+    const SweepReport old = runSweep(prior);
+    SweepOptions options;
+    options.resume = &old.doc;
+    const SweepReport resumed = runSweep(reshaped, options);
+    EXPECT_EQ(resumed.resumed, 0u);
+    EXPECT_EQ(resumed.executed, 1u);
+    EXPECT_EQ(resumed.doc.dump(), runSweep(reshaped).doc.dump());
+}
+
+TEST(SweepResume, FailedPointsAreRetriedOnResume)
+{
+    // A stored {"error": ...} point must not be treated as done.
+    const SweepSpec bad = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 1000},
+      "axes": [{"field": "strategy",
+                "values": ["basic", "bogus"]}]
+    })"));
+    const SweepReport broken = runSweep(bad);
+    ASSERT_EQ(broken.failed, 1u);
+    SweepOptions options;
+    options.resume = &broken.doc;
+    const SweepReport resumed = runSweep(bad, options);
+    EXPECT_EQ(resumed.resumed, 1u);
+    EXPECT_EQ(resumed.executed, 1u); // the failed point re-ran
+    EXPECT_EQ(resumed.failed, 1u);   // ...and failed again
+}
+
+TEST(SweepResume, RejectsMalformedResumeDocuments)
+{
+    const SweepSpec spec =
+        SweepSpec::fromJson(parse(resume_specs::kFull));
+    auto expectThrow = [&](const Json &doc, const char *what) {
+        SweepOptions options;
+        options.resume = &doc;
+        EXPECT_THROW(runSweep(spec, options),
+                     std::invalid_argument)
+            << what;
+    };
+    expectThrow(parse(R"({"not": "a sweep output"})"),
+                "missing spec/points");
+    expectThrow(parse(R"([1, 2, 3])"), "not an object");
+
+    // Truncated points array (as from a killed run).
+    const SweepReport fresh = runSweep(spec);
+    Json truncated = Json::object();
+    truncated.set("spec", fresh.doc.at("spec"));
+    Json somePoints = Json::array();
+    somePoints.push(fresh.doc.at("points").at(0));
+    truncated.set("points", somePoints);
+    expectThrow(truncated, "truncated points");
+
+    // Edited config_hash.
+    Json edited = fresh.doc;
+    Json points = Json::array();
+    for (std::size_t i = 0; i < fresh.doc.at("points").size();
+         ++i) {
+        Json p = fresh.doc.at("points").at(i);
+        p.set("config_hash", "0000000000000000");
+        points.push(p);
+    }
+    edited.set("points", points);
+    expectThrow(edited, "config_hash mismatch");
+
+    // Wrong runner.
+    const SweepReport other = runSweep(SweepSpec::fromJson(parse(
+        R"({"runner": "experiment",
+            "base": {"workload": "qrca", "bits": 6,
+                     "synth": {"maxSyllables": 3}}})")));
+    expectThrow(other.doc, "runner mismatch");
+}
+
+TEST(SweepEngine, ZeroPointSpecsThrowInsteadOfEmittingNothing)
+{
+    SweepSpec empty;
+    empty.runner = "mc-prep";
+    EXPECT_THROW(runSweep(empty), std::invalid_argument);
+}
+
+TEST(SweepEngine, MoreThreadsThanPointsIsFine)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 5000, "seed": 3},
+      "axes": [{"field": "pGate", "values": [1e-4, 3e-4]}]
+    })"));
+    SweepOptions narrow;
+    narrow.threads = 1;
+    SweepOptions wide;
+    wide.threads = 64;
+    const SweepReport a = runSweep(spec, narrow);
+    const SweepReport b = runSweep(spec, wide);
+    EXPECT_EQ(a.doc.dump(), b.doc.dump());
+    EXPECT_EQ(b.failed, 0u);
+}
+
+// ---------------------------------------------------------------
+// Const-shared-workload mode: one immutable (workload, graph)
+// bundle across points, bit-identical to per-point construction.
+// ---------------------------------------------------------------
+
+TEST(SharedWorkload, SharedGraphResultsMatchPerPointBuilds)
+{
+    ExperimentConfig config;
+    config.workload = "qrca";
+    config.params.bits = 8;
+    config.synth.maxSyllables = 3;
+
+    FowlerSynth synth(config.synth);
+    SharedWorkload shared = makeSharedWorkload(
+        WorkloadRegistry::instance().build("qrca", synth,
+                                           config.params));
+    ASSERT_NE(shared.workload, nullptr);
+    ASSERT_NE(shared.graph, nullptr);
+    EXPECT_EQ(&shared.graph->circuit(),
+              &shared.workload->lowered.circuit);
+
+    for (auto schedule :
+         {ScheduleMode::SpeedOfData, ScheduleMode::Arch}) {
+        config.schedule = schedule;
+        Experiment sharedMode(config, shared);
+        Experiment workloadOnly(config, shared.workload);
+        Experiment fresh(config);
+        const std::string a = sharedMode.run().toJson().dump();
+        EXPECT_EQ(a, workloadOnly.run().toJson().dump())
+            << scheduleModeName(schedule);
+        EXPECT_EQ(a, fresh.run().toJson().dump())
+            << scheduleModeName(schedule);
+    }
+}
+
+// ---------------------------------------------------------------
 // Shipped specs (single source of truth for the benches)
 // ---------------------------------------------------------------
 
@@ -509,11 +773,15 @@ TEST(ShippedSpecs, ParseAndExpandToExpectedCounts)
         std::size_t points;
         const char *runner;
     } specs[] = {
-        {"/fig4_grid.json", 30, "mc-prep"},
+        // 30-point (strategy, pGate, pMove) grid plus the 2-point
+        // paper-point semantics comparison (Fig 4c ApplyFix).
+        {"/fig4_grid.json", 32, "mc-prep"},
         {"/fig8_throughput.json", 30, "experiment"},
         {"/fig15_arch.json", 60, "experiment"},
         {"/level2_scaling.json", 12, "experiment"},
         {"/ci_smoke.json", 4, "experiment"},
+        // First half of ci_smoke, for the CI resume gate.
+        {"/ci_smoke_half.json", 2, "experiment"},
     };
     for (const auto &s : specs) {
         const SweepSpec spec =

@@ -9,10 +9,19 @@
  *       (stdout, or --out).
  *
  *   qcarch sweep <spec.json> [--threads N] [--out PATH] [--quiet]
+ *                [--resume PREV.json]
  *       Expand and execute a SweepSpec on the parallel sweep
  *       engine; writes the aggregated document (stdout, or --out).
  *       Output is bit-identical for a given spec regardless of
- *       --threads; progress goes to stderr.
+ *       --threads; progress goes to stderr. With --out, the
+ *       document is checkpointed to the output path during the
+ *       run, so a killed sweep leaves a valid, resumable file.
+ *       --resume loads a previous output of the same runner and
+ *       replays every stored point whose configuration and axis
+ *       assignment match (config_hash is cross-checked), so an
+ *       interrupted Table 5-8-scale grid restarts incrementally —
+ *       the merged document is still byte-identical to a fresh
+ *       single-shot run.
  *
  *   qcarch list workloads|archs|runners
  *   qcarch list fields [runner]
@@ -24,6 +33,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,7 +50,7 @@ usage(std::ostream &out, int code)
     out << "usage:\n"
            "  qcarch run <config.json> [--out PATH]\n"
            "  qcarch sweep <spec.json> [--threads N] [--out PATH]"
-           " [--quiet]\n"
+           " [--quiet] [--resume PREV.json]\n"
            "  qcarch list workloads|archs|runners\n"
            "  qcarch list fields [runner]\n";
     return code;
@@ -102,6 +112,7 @@ cmdSweep(std::vector<std::string> args)
 {
     const std::string out = takeOption(args, "--out");
     const std::string threads = takeOption(args, "--threads");
+    const std::string resumePath = takeOption(args, "--resume");
     const bool quiet = takeFlag(args, "--quiet");
     if (args.size() != 1)
         return usage(std::cerr, 2);
@@ -110,13 +121,34 @@ cmdSweep(std::vector<std::string> args)
     SweepOptions options;
     if (!threads.empty())
         options.threads = std::stoi(threads);
+    // With --out, checkpoint to the output path during the run: a
+    // killed sweep leaves a valid document (finished points plus
+    // "interrupted" stubs) that --resume restarts from.
+    options.checkpointPath = out;
+
+    // Load the previous output up front so an unreadable or
+    // truncated file fails before any point executes (exit 1, no
+    // partial output).
+    Json resumeDoc;
+    if (!resumePath.empty()) {
+        try {
+            resumeDoc = Json::loadFile(resumePath);
+        } catch (const std::exception &e) {
+            throw std::invalid_argument("--resume " + resumePath
+                                        + ": " + e.what());
+        }
+        options.resume = &resumeDoc;
+    }
+
     if (!quiet) {
         options.progress = [](const SweepProgress &p) {
             // \x1b[K erases the tail of the previous (possibly
             // longer) progress line after the carriage return.
             std::cerr << "\r[" << p.done << "/" << p.total << "] "
                       << p.point->assignment.dump(0)
-                      << (p.cached ? " (cached)" : "") << "\x1b[K"
+                      << (p.cached ? " (cached)"
+                                   : p.resumed ? " (resumed)" : "")
+                      << "\x1b[K"
                       << (p.done == p.total ? "\n" : "")
                       << std::flush;
         };
@@ -126,7 +158,8 @@ cmdSweep(std::vector<std::string> args)
     emit(report.doc, out);
     if (!quiet) {
         std::cerr << report.points << " points ("
-                  << report.cacheMisses << " executed, "
+                  << report.executed << " executed, "
+                  << report.resumed << " resumed, "
                   << report.cacheHits << " cached, "
                   << report.failed << " failed) in "
                   << report.wallSeconds << " s\n";
