@@ -1,0 +1,558 @@
+#include "serve/Coordinator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/DurableFile.hh"
+#include "serve/Lease.hh"
+#include "serve/Protocol.hh"
+#include "sweep/SweepPlan.hh"
+
+namespace qc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Appends timestamped lines to DIR/log (flushed per line — the
+ *  kill-matrix gate greps this file after kills) and mirrors them
+ *  to stderr unless quiet. */
+class ServeLog
+{
+  public:
+    ServeLog(const std::string &path, bool quiet)
+        : file_(std::fopen(path.c_str(), "a")), quiet_(quiet),
+          start_(std::chrono::steady_clock::now())
+    {
+        if (!file_)
+            throw std::runtime_error("cannot open log " + path);
+    }
+
+    ~ServeLog()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    void operator()(const char *format, ...)
+        __attribute__((format(printf, 2, 3)))
+    {
+        char line[1024];
+        va_list args;
+        va_start(args, format);
+        std::vsnprintf(line, sizeof line, format, args);
+        va_end(args);
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::fprintf(file_, "[serve +%.3fs] %s\n", elapsed, line);
+        std::fflush(file_);
+        if (!quiet_) {
+            std::fprintf(stderr, "[serve] %s\n", line);
+            std::fflush(stderr);
+        }
+    }
+
+  private:
+    std::FILE *file_;
+    bool quiet_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Sorted *.json entries of a directory (torn temp files carry a
+ *  .tmp infix and are excluded by construction of their names). */
+std::vector<std::string>
+listJsonFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 5
+            && name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(entry.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** Refuse to checkpoint onto directories/sockets/etc (same guard
+ *  as the sweep engine: a mistyped --out should fail loudly). */
+void
+checkCheckpointTarget(const std::string &path)
+{
+    std::error_code ec;
+    const fs::file_status status = fs::symlink_status(path, ec);
+    if (!ec && fs::exists(status) && !fs::is_regular_file(status)) {
+        throw std::runtime_error(
+            "checkpoint path " + path
+            + " exists and is not a regular file");
+    }
+}
+
+struct ShardState
+{
+    ShardDescriptor desc;
+};
+
+class Coordinator
+{
+  public:
+    Coordinator(const SweepSpec &spec,
+                const CoordinatorOptions &options)
+        : options_(options), dir_(options.dir), assembler_(spec),
+          log_((prepareRoot(), dir_.logFile()), options.quiet)
+    {
+    }
+
+    CoordinatorReport run()
+    {
+        checkCheckpointTarget(options_.outPath);
+        resumeFromCheckpoint();
+        prepareDirs();
+        mergeLeftoverDeltas();
+        publishQueue();
+        publishManifest();
+        loop();
+        report_.resumed = assembler_.resumedCount();
+        report_.failed = assembler_.failedPoints();
+        return report_;
+    }
+
+  private:
+    /** The log lives inside the root, so the root must exist
+     *  before the log member constructs. */
+    void prepareRoot() const
+    {
+        fs::create_directories(dir_.root);
+    }
+
+    void prepareDirs()
+    {
+        fs::create_directories(dir_.queueDir());
+        fs::create_directories(dir_.leaseDir());
+        fs::create_directories(dir_.resultDir());
+        // A leftover done marker would make fresh workers exit
+        // immediately.
+        std::remove(dir_.doneMarker().c_str());
+    }
+
+    void resumeFromCheckpoint()
+    {
+        std::error_code ec;
+        if (!fs::exists(options_.outPath, ec)
+            || fs::file_size(options_.outPath, ec) == 0)
+            return;
+        // Throws on foreign/edited documents — same contract as
+        // `qcarch sweep --resume` (docs/SWEEPS.md).
+        assembler_.applyResume(Json::loadFile(options_.outPath));
+        log_("resumed %zu unique points from %s",
+             assembler_.resumedCount(), options_.outPath.c_str());
+    }
+
+    /**
+     * Deltas committed while no coordinator was running (or not
+     * yet merged when it died) are the crash-recovery record:
+     * merge them before building the new queue, then checkpoint
+     * and delete them so the restart is idempotent.
+     */
+    void mergeLeftoverDeltas()
+    {
+        const std::vector<std::string> files =
+            listJsonFiles(dir_.resultDir());
+        for (const std::string &file : files)
+            mergeDelta(file, /*startup=*/true);
+        if (!files.empty()) {
+            checkpoint();
+            for (const std::string &file : files)
+                std::remove(file.c_str());
+            log_("recovered %zu leftover delta file(s)",
+                 files.size());
+        }
+        // Stale queue entries and leases belong to the previous
+        // generation; the queue is rebuilt from what is still
+        // pending, and orphaned leases would only block shards a
+        // still-running old worker no longer owns.
+        for (const std::string &file :
+             listJsonFiles(dir_.queueDir()))
+            std::remove(file.c_str());
+        std::error_code ec;
+        for (const auto &entry :
+             fs::directory_iterator(dir_.leaseDir(), ec))
+            std::remove(entry.path().string().c_str());
+    }
+
+    void publishQueue()
+    {
+        const std::vector<std::size_t> pending =
+            assembler_.pending();
+        std::size_t shardPoints = options_.shardPoints;
+        if (shardPoints == 0) {
+            const std::size_t workers = std::max(
+                1, options_.workersExpected);
+            shardPoints =
+                std::max<std::size_t>(1,
+                                      pending.size() / (4 * workers));
+        }
+        std::size_t ordinal = 0;
+        for (std::size_t begin = 0; begin < pending.size();
+             begin += shardPoints) {
+            ShardDescriptor desc;
+            desc.id = shardId(ordinal++);
+            const std::size_t end =
+                std::min(begin + shardPoints, pending.size());
+            desc.indices.assign(pending.begin() + begin,
+                                pending.begin() + end);
+            writeFileDurable(dir_.queueEntry(desc.id),
+                             desc.toJson().dump(2) + "\n");
+            shards_[desc.id] = ShardState{desc};
+        }
+        log_("queued %zu shard(s) of <= %zu point(s) "
+             "(%zu pending of %zu unique)",
+             shards_.size(), shardPoints, pending.size(),
+             assembler_.plan().unique.size());
+    }
+
+    void publishManifest()
+    {
+        std::int64_t generation = 1;
+        std::error_code ec;
+        if (fs::exists(dir_.manifest(), ec)) {
+            try {
+                generation = Json::loadFile(dir_.manifest())
+                                 .getInt("generation", 0)
+                             + 1;
+            } catch (const std::exception &) {
+                // Torn manifest from a killed coordinator: the
+                // durable rewrite below replaces it.
+            }
+        }
+        Json manifest = Json::object();
+        manifest.set("generation", generation);
+        manifest.set("lease_seconds", options_.leaseSeconds);
+        manifest.set("runner", assembler_.spec().runner);
+        manifest.set("sweep", assembler_.spec().name);
+        manifest.set("spec", assembler_.spec().toJson());
+        writeFileDurable(dir_.manifest(),
+                         manifest.dump(2) + "\n");
+        log_("manifest published (generation %lld, lease %.1fs)",
+             static_cast<long long>(generation),
+             options_.leaseSeconds);
+    }
+
+    void loop()
+    {
+        auto lastCheckpoint = std::chrono::steady_clock::now();
+        bool dirty = false;
+        while (true) {
+            if (options_.stopRequested && options_.stopRequested()) {
+                checkpoint();
+                writeFileDurable(dir_.doneMarker(),
+                                 "interrupted\n");
+                log_("stop requested: checkpoint written, "
+                     "%zu unique point(s) still pending",
+                     assembler_.pending().size());
+                report_.interrupted = true;
+                report_.exitCode = kInterruptedExit;
+                return;
+            }
+
+            for (const std::string &file :
+                 listJsonFiles(dir_.resultDir())) {
+                if (processed_.count(file))
+                    continue;
+                processed_.insert(file);
+                if (mergeDelta(file, /*startup=*/false))
+                    dirty = true;
+            }
+
+            reclaimStaleLeases();
+
+            const auto now = std::chrono::steady_clock::now();
+            const double since =
+                std::chrono::duration<double>(now - lastCheckpoint)
+                    .count();
+            if (dirty && since >= options_.checkpointSeconds) {
+                checkpoint();
+                lastCheckpoint = now;
+                dirty = false;
+            }
+
+            // The CI coordinator-crash leg: die only after the
+            // K-th merged point is durably checkpointed, so the
+            // restart must recover exactly the rest.
+            if (options_.fault.is("crash-at-point")
+                && report_.executed
+                       >= static_cast<std::size_t>(
+                           options_.fault.param())) {
+                checkpoint();
+                options_.fault.fire("crash-at-point");
+            }
+
+            if (assembler_.complete()) {
+                checkpoint();
+                writeFileDurable(dir_.doneMarker(), "complete\n");
+                log_("sweep complete: %zu executed, %zu resumed, "
+                     "%zu duplicate point(s), %zu rejected "
+                     "delta(s), %zu reclaim(s)",
+                     report_.executed, assembler_.resumedCount(),
+                     report_.duplicates, report_.rejected,
+                     report_.reclaimedExpired
+                         + report_.reclaimedDead);
+                return;
+            }
+
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.pollMs));
+        }
+    }
+
+    /** Returns true iff at least one new point merged. */
+    bool mergeDelta(const std::string &file, bool startup)
+    {
+        Json json;
+        try {
+            json = Json::loadFile(file);
+        } catch (const std::exception &) {
+            log_("rejected torn delta %s (unparsable; deleted)",
+                 file.c_str());
+            std::remove(file.c_str());
+            ++report_.rejected;
+            return false;
+        }
+        ShardDelta delta;
+        if (!ShardDelta::fromJson(json, delta)) {
+            log_("rejected malformed delta %s (deleted)",
+                 file.c_str());
+            std::remove(file.c_str());
+            ++report_.rejected;
+            return false;
+        }
+
+        const SweepPlan &plan = assembler_.plan();
+        for (const DeltaPoint &point : delta.points) {
+            const bool canonical =
+                point.index < plan.points.size()
+                && plan.canonical[point.index] == point.index;
+            if (!canonical
+                || point.configHash
+                       != hexConfigHash(plan.hashes[point.index])) {
+                log_("rejected conflicting delta %s (point %zu "
+                     "config_hash mismatch; deleted)",
+                     file.c_str(), point.index);
+                std::remove(file.c_str());
+                ++report_.rejected;
+                return false;
+            }
+        }
+
+        bool mergedAny = false;
+        for (const DeltaPoint &point : delta.points) {
+            if (assembler_.setResult(point.index, point.result,
+                                     point.failed)) {
+                ++report_.executed;
+                mergedAny = true;
+            } else {
+                ++report_.duplicates;
+                if (!startup) {
+                    log_("duplicate point %zu in %s "
+                         "(already merged; idempotent)",
+                         point.index, file.c_str());
+                }
+            }
+        }
+        if (!startup)
+            finishShardBookkeeping(delta);
+        return mergedAny;
+    }
+
+    void finishShardBookkeeping(const ShardDelta &delta)
+    {
+        auto it = shards_.find(delta.id);
+        if (it == shards_.end())
+            return; // previous-generation shard; content merged
+        std::vector<std::size_t> &indices = it->second.desc.indices;
+        std::set<std::size_t> covered;
+        for (const DeltaPoint &point : delta.points)
+            covered.insert(point.index);
+        indices.erase(std::remove_if(indices.begin(), indices.end(),
+                                     [&](std::size_t index) {
+                                         return covered.count(
+                                             index);
+                                     }),
+                      indices.end());
+        // The committing worker leaves its lease in place as a
+        // commit fence; removing it is this function's job, and
+        // only AFTER the queue entry reflects the delta — so no
+        // worker can re-acquire the shard from a stale descriptor
+        // and recompute committed points.
+        if (delta.partial && !indices.empty()) {
+            ShardDescriptor &desc = it->second.desc;
+            ++desc.attempt;
+            writeFileDurable(dir_.queueEntry(desc.id),
+                             desc.toJson().dump(2) + "\n");
+            std::remove(dir_.lease(desc.id).c_str());
+            log_("partial delta for %s: %zu point(s) re-queued "
+                 "(attempt %d)",
+                 desc.id.c_str(), indices.size(), desc.attempt);
+            return;
+        }
+        std::remove(dir_.queueEntry(delta.id).c_str());
+        std::remove(dir_.lease(delta.id).c_str());
+        log_("shard %s committed (%zu point(s) by %s)",
+             delta.id.c_str(), delta.points.size(),
+             delta.owner.c_str());
+        shards_.erase(it);
+    }
+
+    void reclaimStaleLeases()
+    {
+        const std::int64_t now = nowEpochMs();
+        // Iterate over a name snapshot: reclaiming mutates shards_.
+        std::vector<std::string> ids;
+        for (const auto &[id, state] : shards_)
+            ids.push_back(id);
+        for (const std::string &id : ids)
+            reclaimIfStale(id, now);
+    }
+
+    void reclaimIfStale(const std::string &id, std::int64_t now)
+    {
+        // A delta that landed after this iteration's merge scan
+        // must be merged before any reclaim decision: reclaiming a
+        // committed-but-unmerged shard would re-queue points the
+        // next merge is about to cover (crash-after-commit leaves
+        // exactly this state: delta on disk, owner dead, lease
+        // held).
+        for (const std::string &file :
+             listJsonFiles(dir_.resultDir())) {
+            const std::string name =
+                fs::path(file).filename().string();
+            if (name.rfind(id + ".", 0) == 0
+                && !processed_.count(file))
+                return;
+        }
+        const std::string leasePath = dir_.lease(id);
+        LeaseInfo info;
+        const bool readable = Lease::read(leasePath, info);
+        if (!readable) {
+            std::error_code ec;
+            if (!fs::exists(leasePath, ec))
+                return; // no lease: the shard is simply free
+            // An unparsable lease means its writer died mid-write
+            // (tryAcquire publishes in place); nobody owns it.
+            reclaim(id, leasePath, "unreadable lease");
+            return;
+        }
+        if (!info.ownerAlive()) {
+            // Dead-PID fast path: no need to wait out the TTL.
+            reclaim(id, leasePath,
+                    ("dead owner pid "
+                     + std::to_string(info.pid))
+                        .c_str(),
+                    /*expired=*/false);
+        } else if (info.expired(now)) {
+            reclaim(id, leasePath,
+                    ("expired lease of pid "
+                     + std::to_string(info.pid))
+                        .c_str(),
+                    /*expired=*/true);
+        }
+    }
+
+    void reclaim(const std::string &id,
+                 const std::string &leasePath, const char *reason,
+                 bool expired = false)
+    {
+        auto it = shards_.find(id);
+        if (it == shards_.end())
+            return;
+        // Drop committed indices first: a shard whose delta landed
+        // before its owner died must not re-execute any point.
+        ShardDescriptor &desc = it->second.desc;
+        std::vector<std::size_t> remaining;
+        for (std::size_t index : desc.indices) {
+            if (!assembler_.has(index))
+                remaining.push_back(index);
+        }
+        const std::size_t dropped =
+            desc.indices.size() - remaining.size();
+        // Re-publish the queue entry BEFORE the steal: while the
+        // lease file exists no worker can acquire the shard, so no
+        // one can read a descriptor that is mid-rewrite.
+        if (remaining.empty()) {
+            std::remove(dir_.queueEntry(id).c_str());
+        } else {
+            desc.indices = std::move(remaining);
+            ++desc.attempt;
+            writeFileDurable(dir_.queueEntry(id),
+                             desc.toJson().dump(2) + "\n");
+        }
+        if (!Lease::steal(leasePath,
+                          dir_.leaseDir() + "/.reclaim-" + id)) {
+            // The owner released it in this instant — it committed
+            // after all; the delta scan will finish the shard.
+            return;
+        }
+        if (expired)
+            ++report_.reclaimedExpired;
+        else
+            ++report_.reclaimedDead;
+        if (dropped > 0 && !desc.indices.empty()) {
+            log_("reclaimed %s for %s: dropped %zu committed "
+                 "point(s), re-queued %zu (attempt %d)",
+                 reason, id.c_str(), dropped, desc.indices.size(),
+                 desc.attempt);
+        } else if (desc.indices.empty()) {
+            log_("reclaimed %s for %s: shard already fully "
+                 "committed, not re-queued",
+                 reason, id.c_str());
+            shards_.erase(id);
+        } else {
+            log_("reclaimed %s for %s: re-queued %zu point(s) "
+                 "(attempt %d)",
+                 reason, id.c_str(), desc.indices.size(),
+                 desc.attempt);
+        }
+    }
+
+    void checkpoint()
+    {
+        writeFileDurable(options_.outPath,
+                         assembler_.document().dump(2) + "\n");
+    }
+
+    CoordinatorOptions options_;
+    ServeDir dir_;
+    SweepAssembler assembler_;
+    ServeLog log_;
+    std::map<std::string, ShardState> shards_;
+    std::set<std::string> processed_;
+    CoordinatorReport report_;
+};
+
+} // namespace
+
+CoordinatorReport
+runCoordinator(const SweepSpec &spec,
+               const CoordinatorOptions &options)
+{
+    if (options.outPath.empty())
+        throw std::invalid_argument("coordinator needs an --out path");
+    if (options.dir.empty())
+        throw std::invalid_argument(
+            "coordinator needs a coordination directory");
+    Coordinator coordinator(spec, options);
+    return coordinator.run();
+}
+
+} // namespace qc

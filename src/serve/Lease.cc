@@ -1,0 +1,161 @@
+#include "serve/Lease.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "api/Json.hh"
+#include "common/DurableFile.hh"
+
+namespace qc {
+
+namespace {
+
+Json
+toJson(const LeaseInfo &info)
+{
+    Json j = Json::object();
+    j.set("pid", info.pid);
+    j.set("nonce", info.nonce);
+    j.set("expires_ms", info.expiresMs);
+    j.set("ttl_seconds", info.ttlSeconds);
+    return j;
+}
+
+bool
+fromJson(const Json &j, LeaseInfo &out)
+{
+    if (!j.isObject() || !j.has("pid") || !j.has("nonce")
+        || !j.has("expires_ms"))
+        return false;
+    out.pid = static_cast<int>(j.at("pid").asInt());
+    out.nonce = j.at("nonce").asString();
+    out.expiresMs = j.at("expires_ms").asInt();
+    out.ttlSeconds = j.getDouble("ttl_seconds", 0.0);
+    return true;
+}
+
+} // namespace
+
+std::int64_t
+nowEpochMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+LeaseInfo::ownerAlive() const
+{
+    if (pid <= 0)
+        return true; // unknown owner: fall back to the TTL
+    if (::kill(pid, 0) == 0)
+        return true;
+    return errno != ESRCH;
+}
+
+bool
+Lease::tryAcquire(const std::string &path, LeaseInfo info)
+{
+    info.expiresMs =
+        nowEpochMs()
+        + static_cast<std::int64_t>(info.ttlSeconds * 1000.0);
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        throw std::runtime_error("cannot create lease " + path
+                                 + ": " + std::strerror(errno));
+    }
+    const std::string body = toJson(info).dump(0) + "\n";
+    const char *data = body.data();
+    std::size_t left = body.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            std::remove(path.c_str());
+            throw std::runtime_error("cannot write lease " + path
+                                     + ": "
+                                     + std::strerror(errno));
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+    return true;
+}
+
+bool
+Lease::read(const std::string &path, LeaseInfo &out)
+{
+    try {
+        return fromJson(Json::loadFile(path), out);
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+Lease::renew(const std::string &path, const LeaseInfo &mine)
+{
+    LeaseInfo current;
+    if (!read(path, current) || current.nonce != mine.nonce)
+        return false;
+    LeaseInfo renewed = mine;
+    renewed.expiresMs =
+        nowEpochMs()
+        + static_cast<std::int64_t>(mine.ttlSeconds * 1000.0);
+    // Atomic replace; the pre-write nonce check above keeps a
+    // reclaimed-and-reacquired lease from being clobbered (the
+    // remaining instant-race is tolerated by commit-time ownership
+    // verification and idempotent merges — see the file comment).
+    try {
+        writeFileDurable(path, toJson(renewed).dump(0) + "\n",
+                         ".renew." + mine.nonce);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+bool
+Lease::release(const std::string &path, const std::string &nonce)
+{
+    LeaseInfo current;
+    if (!read(path, current) || current.nonce != nonce)
+        return false;
+    return std::remove(path.c_str()) == 0;
+}
+
+bool
+Lease::steal(const std::string &path, const std::string &aside)
+{
+    if (std::rename(path.c_str(), aside.c_str()) != 0)
+        return false; // someone else already reclaimed it
+    std::remove(aside.c_str());
+    return true;
+}
+
+std::string
+Lease::makeNonce()
+{
+    static std::atomic<unsigned> counter{0};
+    return std::to_string(static_cast<int>(::getpid())) + "-"
+           + std::to_string(nowEpochMs()) + "-"
+           + std::to_string(counter.fetch_add(1));
+}
+
+} // namespace qc

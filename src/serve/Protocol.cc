@@ -1,0 +1,95 @@
+#include "serve/Protocol.hh"
+
+#include <cstdio>
+
+namespace qc {
+
+std::string
+shardId(std::size_t ordinal)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "shard-%04zu", ordinal);
+    return buf;
+}
+
+Json
+ShardDescriptor::toJson() const
+{
+    Json indicesJson = Json::array();
+    for (std::size_t index : indices)
+        indicesJson.push(Json(static_cast<std::uint64_t>(index)));
+    Json j = Json::object();
+    j.set("id", id);
+    j.set("indices", std::move(indicesJson));
+    j.set("attempt", attempt);
+    return j;
+}
+
+bool
+ShardDescriptor::fromJson(const Json &json, ShardDescriptor &out)
+{
+    if (!json.isObject() || !json.has("id") || !json.has("indices")
+        || !json.at("indices").isArray())
+        return false;
+    out.id = json.getString("id", "");
+    out.attempt = static_cast<int>(json.getInt("attempt", 0));
+    out.indices.clear();
+    const Json &arr = json.at("indices");
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr.at(i).isNumber())
+            return false;
+        out.indices.push_back(
+            static_cast<std::size_t>(arr.at(i).asInt()));
+    }
+    return !out.id.empty();
+}
+
+Json
+ShardDelta::toJson() const
+{
+    Json pointsJson = Json::array();
+    for (const DeltaPoint &point : points) {
+        Json p = Json::object();
+        p.set("index", static_cast<std::uint64_t>(point.index));
+        p.set("config_hash", point.configHash);
+        p.set("failed", point.failed);
+        p.set("result", point.result);
+        pointsJson.push(std::move(p));
+    }
+    Json j = Json::object();
+    j.set("id", id);
+    j.set("owner", owner);
+    j.set("partial", partial);
+    j.set("points", std::move(pointsJson));
+    return j;
+}
+
+bool
+ShardDelta::fromJson(const Json &json, ShardDelta &out)
+{
+    if (!json.isObject() || !json.has("id") || !json.has("points")
+        || !json.at("points").isArray())
+        return false;
+    out.id = json.getString("id", "");
+    out.owner = json.getString("owner", "");
+    out.partial = json.getBool("partial", false);
+    out.points.clear();
+    const Json &arr = json.at("points");
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const Json &p = arr.at(i);
+        if (!p.isObject() || !p.has("index")
+            || !p.has("config_hash") || !p.has("result")
+            || !p.at("index").isNumber())
+            return false;
+        DeltaPoint point;
+        point.index =
+            static_cast<std::size_t>(p.at("index").asInt());
+        point.configHash = p.getString("config_hash", "");
+        point.failed = p.getBool("failed", false);
+        point.result = p.at("result");
+        out.points.push_back(std::move(point));
+    }
+    return !out.id.empty();
+}
+
+} // namespace qc

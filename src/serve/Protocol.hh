@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The on-disk protocol `qcarch serve` (coordinator) and `qcarch
+ * work` (workers) speak, OpenISR-style: the coordinator expands a
+ * sweep spec into point *shards* (parcels), workers check a shard
+ * out under a time-limited exclusive lease, compute it, and check
+ * the result back in as a durable *delta* the coordinator merges
+ * into the single checkpoint document.
+ *
+ * Everything lives under one coordination directory:
+ *
+ *     DIR/manifest.json   spec + lease TTL + generation; written
+ *                         last at startup, so a manifest's
+ *                         presence means the directory is open
+ *     DIR/queue/          one descriptor per uncommitted shard:
+ *                         {"id", "indices": [plan indices],
+ *                          "attempt"} — rewritten (attempt+1,
+ *                         committed indices dropped) when a lease
+ *                         is reclaimed or a partial delta lands
+ *     DIR/leases/         at-most-one-owner checkouts (Lease.hh)
+ *     DIR/results/        committed shard deltas (atomic+durable
+ *                         rename; the coordinator's crash-recovery
+ *                         record)
+ *     DIR/done            written by the coordinator on exit:
+ *                         "complete" or "interrupted"; workers
+ *                         exit when it appears
+ *     DIR/log             coordinator event log (reclaims, merges,
+ *                         rejections — the kill-matrix gate greps
+ *                         it)
+ *
+ * Shard indices refer to the deterministic SweepPlan expansion of
+ * the manifest's spec, which both sides compute independently —
+ * the protocol never ships configurations, only indices, and every
+ * delta point carries its config_hash so a mismatched expansion
+ * (version skew, edited spec) is rejected at merge time instead of
+ * corrupting the document.
+ */
+
+#ifndef QC_SERVE_PROTOCOL_HH
+#define QC_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/Json.hh"
+
+namespace qc {
+
+/** Path helpers for a coordination directory. */
+struct ServeDir
+{
+    std::string root;
+
+    explicit ServeDir(std::string rootPath)
+        : root(std::move(rootPath))
+    {
+    }
+
+    std::string manifest() const { return root + "/manifest.json"; }
+    std::string queueDir() const { return root + "/queue"; }
+    std::string leaseDir() const { return root + "/leases"; }
+    std::string resultDir() const { return root + "/results"; }
+    std::string doneMarker() const { return root + "/done"; }
+    std::string logFile() const { return root + "/log"; }
+
+    std::string queueEntry(const std::string &shardId) const
+    {
+        return queueDir() + "/" + shardId + ".json";
+    }
+    std::string lease(const std::string &shardId) const
+    {
+        return leaseDir() + "/" + shardId + ".lease";
+    }
+    /** Delta names carry the committing worker's nonce so a
+     *  partial commit and a later completion of the same shard
+     *  never collide (each delta file is immutable once renamed
+     *  in). */
+    std::string result(const std::string &shardId,
+                       const std::string &nonce) const
+    {
+        return resultDir() + "/" + shardId + "." + nonce + ".json";
+    }
+};
+
+/** "shard-0007" — stable, sortable shard names. */
+std::string shardId(std::size_t ordinal);
+
+/** One queue descriptor. */
+struct ShardDescriptor
+{
+    std::string id;
+    std::vector<std::size_t> indices; ///< canonical plan indices
+    int attempt = 0;
+
+    Json toJson() const;
+    /** False on malformed/torn content (readers skip it). */
+    static bool fromJson(const Json &json, ShardDescriptor &out);
+};
+
+/** One computed point inside a delta. */
+struct DeltaPoint
+{
+    std::size_t index = 0;  ///< canonical plan index
+    std::string configHash; ///< hexConfigHash of the plan config
+    bool failed = false;    ///< result is {"error": ...}
+    Json result;            ///< runner metrics (or the error)
+};
+
+/** A committed shard delta. */
+struct ShardDelta
+{
+    std::string id;
+    std::string owner;    ///< committing worker's lease nonce
+    bool partial = false; ///< a drain cut the shard short
+    std::vector<DeltaPoint> points;
+
+    Json toJson() const;
+    /** False on malformed/torn content. */
+    static bool fromJson(const Json &json, ShardDelta &out);
+};
+
+} // namespace qc
+
+#endif // QC_SERVE_PROTOCOL_HH

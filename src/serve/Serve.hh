@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for the sweep service: the coordinator/worker
+ * pair behind `qcarch serve` and `qcarch work`, the filesystem
+ * lease protocol they coordinate through, and the fault injector
+ * the kill-matrix CI gate drives them with. See docs/SERVE.md for
+ * the protocol walkthrough and the failure matrix.
+ */
+
+#ifndef QC_SERVE_SERVE_HH
+#define QC_SERVE_SERVE_HH
+
+#include "serve/Coordinator.hh"
+#include "serve/FaultInjector.hh"
+#include "serve/Lease.hh"
+#include "serve/Protocol.hh"
+#include "serve/Worker.hh"
+
+#endif // QC_SERVE_SERVE_HH

@@ -21,6 +21,7 @@
 #define QC_SWEEP_SWEEP_HH
 
 #include "sweep/SweepEngine.hh"
+#include "sweep/SweepPlan.hh"
 #include "sweep/SweepRunner.hh"
 #include "sweep/SweepSpec.hh"
 

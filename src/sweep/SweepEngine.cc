@@ -1,13 +1,13 @@
 #include "sweep/SweepEngine.hh"
 
 #include <chrono>
-#include <cstdio>
 #include <filesystem>
-#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "common/DurableFile.hh"
+#include "sweep/SweepPlan.hh"
 #include "sweep/WorkStealingPool.hh"
 
 namespace qc {
@@ -16,228 +16,33 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::string
-hexHash(std::uint64_t hash)
-{
-    char out[17];
-    std::snprintf(out, sizeof out, "%016llx",
-                  static_cast<unsigned long long>(hash));
-    return out;
-}
-
-/** Reuse key: a point is the same point iff both its merged
- *  configuration and its axis assignment match. Config alone is
- *  not enough for byte-identity: the aggregated object interleaves
- *  assignment keys with runner metrics, so a config-equal point
- *  whose assignment moved (axis <-> base across spec edits) must
- *  re-execute rather than replay a differently-shaped object. */
-std::string
-reuseKey(const SweepPoint &point)
-{
-    return point.config.dump(0) + '\n' + point.assignment.dump(0);
-}
-
-/**
- * Index a resume document's stored points by reuseKey of its own
- * spec expansion. A matched point's stored object is replayed into
- * the output *verbatim* — aggregation produced it from the same
- * assignment and the same (pure-function-of-config) metrics, so it
- * is byte-identical to what a fresh run would emit. Matching on
- * the full canonical config (not the 64-bit hash) makes collisions
- * impossible; the stored config_hash is still cross-checked to
- * catch edited or version-skewed files. Stored points carrying
- * {"error": ...} — including the "interrupted" stubs a checkpoint
- * writes for not-yet-computed points — are omitted so resume
- * retries them. Returned pointers alias `doc`.
- */
-std::map<std::string, const Json *>
-resumeIndex(const Json &doc, const std::string &runner)
-{
-    if (!doc.isObject() || !doc.has("spec") || !doc.has("points")
-        || !doc.at("points").isArray()) {
-        throw std::invalid_argument(
-            "resume document is not a sweep output (expected an "
-            "object with \"spec\" and \"points\")");
-    }
-    const SweepSpec prior = SweepSpec::fromJson(doc.at("spec"));
-    if (prior.runner != runner) {
-        throw std::invalid_argument(
-            "resume document was produced by runner \""
-            + prior.runner + "\" but this sweep uses \"" + runner
-            + "\"");
-    }
-    const std::vector<SweepPoint> priorPoints = prior.expand();
-    const Json &stored = doc.at("points");
-    if (stored.size() != priorPoints.size()) {
-        throw std::invalid_argument(
-            "resume document is truncated or edited: \"points\" "
-            "holds "
-            + std::to_string(stored.size())
-            + " entries but its spec expands to "
-            + std::to_string(priorPoints.size()));
-    }
-
-    std::map<std::string, const Json *> out;
-    for (std::size_t j = 0; j < priorPoints.size(); ++j) {
-        const Json &point = stored.at(j);
-        if (!point.isObject()) {
-            throw std::invalid_argument(
-                "resume document point "+ std::to_string(j)
-                + " is not an object");
-        }
-        if (point.has("error"))
-            continue;
-        const std::string expected =
-            hexHash(priorPoints[j].config.hash());
-        if (!point.has("config_hash")
-            || point.at("config_hash") != Json(expected)) {
-            throw std::invalid_argument(
-                "resume document point " + std::to_string(j)
-                + " has a config_hash mismatch (file edited, or "
-                  "produced by an incompatible engine version)");
-        }
-        out.emplace(reuseKey(priorPoints[j]), &point);
-    }
-    return out;
-}
-
 } // namespace
 
 SweepReport
 runSweep(const SweepSpec &spec, const SweepOptions &options)
 {
-    const SweepRunner &runner =
-        SweepRunnerRegistry::instance().get(spec.runner);
-    const std::vector<SweepPoint> points = spec.expand();
-    if (points.empty()) {
-        // A zero-point sweep (a programmatic spec with no grids)
-        // would emit a vacuous document; refuse loudly instead.
-        throw std::invalid_argument(
-            "sweep spec \"" + spec.name
-            + "\" expands to zero points; give it at least one "
-              "grid (axes may be empty for a one-point sweep)");
-    }
     const auto t0 = Clock::now();
 
-    // Per-point config memoization: duplicate configurations
-    // (overlapping grids, degenerate axes) execute once; the rest
-    // are cache hits. The dedup keys on the full canonical dump —
-    // the 64-bit hash is reported per point but never trusted for
-    // equality, so a hash collision cannot alias two configs. The
-    // hit/miss split is a function of the point list alone, so it
-    // is deterministic across thread counts.
-    std::vector<std::uint64_t> hashes(points.size());
-    std::vector<std::size_t> canonical(points.size());
-    std::vector<std::size_t> unique;
-    {
-        std::map<std::string, std::size_t> first;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            hashes[i] = points[i].config.hash();
-            auto [it, inserted] =
-                first.emplace(points[i].config.dump(0), i);
-            canonical[i] = it->second;
-            if (inserted)
-                unique.push_back(i);
-        }
-    }
+    // The assembler owns expansion, dedup, resume replay and
+    // document aggregation — the same layer `qcarch serve` builds
+    // its merged document through, which is why the two paths are
+    // byte-identical by construction.
+    SweepAssembler assembler(spec);
+    const SweepPlan &plan = assembler.plan();
+    if (options.resume)
+        assembler.applyResume(*options.resume);
+    const std::vector<std::size_t> toRun = assembler.pending();
 
     SweepReport report;
-    report.points = points.size();
-    report.cacheMisses = unique.size();
-    report.cacheHits = points.size() - unique.size();
-
-    // Execute the unique points on the work-stealing pool; results
-    // land in expansion-order slots, so aggregation below is
-    // deterministic no matter how the pool schedules them.
-    std::vector<Json> results(points.size());
-    // char, not bool: vector<bool> is bit-packed, and workers set
-    // failure flags for distinct indices concurrently.
-    std::vector<char> pointFailed(points.size(), 0);
-
-    // Resume: points whose (config, assignment) pair already
-    // appears in the prior output replay the stored object
-    // verbatim; unique configs every point of which is replayed
-    // never reach the pool. Only the schedule changes — the
-    // aggregated document below is byte-identical to a fresh run.
-    std::vector<const Json *> reused(points.size(), nullptr);
-    if (options.resume) {
-        const std::map<std::string, const Json *> prior =
-            resumeIndex(*options.resume, spec.runner);
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            auto it = prior.find(reuseKey(points[i]));
-            if (it != prior.end())
-                reused[i] = it->second;
-        }
-    }
-    std::vector<char> needRun(points.size(), 0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (!reused[i])
-            needRun[canonical[i]] = 1;
-    }
-    std::vector<std::size_t> toRun;
-    toRun.reserve(unique.size());
-    for (std::size_t index : unique) {
-        if (needRun[index])
-            toRun.push_back(index);
-    }
-    report.resumed = unique.size() - toRun.size();
+    report.points = plan.points.size();
+    report.cacheMisses = plan.unique.size();
+    report.cacheHits = plan.points.size() - plan.unique.size();
+    report.resumed = assembler.resumedCount();
     report.executed = toRun.size();
-
-    // One flat object per point — the axis assignment first, then
-    // the runner's metrics (runner keys win on collision, e.g.
-    // "trials" rounded up to a full batch); resumed points replay
-    // their stored object. Shared by the final aggregation and the
-    // periodic checkpoints, which record not-yet-finished points as
-    // {"error": "interrupted..."} stubs that a later --resume
-    // re-runs.
-    auto buildPoint = [&](std::size_t i, bool finished) {
-        if (reused[i])
-            return *reused[i];
-        Json point = Json::object();
-        for (const auto &[field, value] :
-             points[i].assignment.items())
-            point.set(field, value);
-        if (!finished) {
-            point.set("error",
-                      "interrupted: point not computed before "
-                      "this checkpoint");
-        } else if (results[canonical[i]].isObject()) {
-            for (const auto &[key, value] :
-                 results[canonical[i]].items())
-                point.set(key, value);
-        }
-        point.set("config_hash", hexHash(hashes[i]));
-        return point;
-    };
-    auto buildDoc = [&](const std::vector<char> &finished) {
-        Json pointsJson = Json::array();
-        for (std::size_t i = 0; i < points.size(); ++i)
-            pointsJson.push(buildPoint(
-                i, reused[i] != nullptr
-                       || finished[canonical[i]] != 0));
-        Json doc = Json::object();
-        doc.set("schema_version", kResultSchemaVersion);
-        doc.set("sweep", spec.name);
-        doc.set("runner", spec.runner);
-        // Bind the metadata before iterating: range-for does not
-        // lifetime-extend a temporary through the .items() call.
-        const Json metadata = runner.metadata();
-        for (const auto &[key, value] : metadata.items())
-            doc.set(key, value);
-        doc.set("spec", spec.toJson());
-        doc.set("grid_points", points.size());
-        Json cache = Json::object();
-        cache.set("hits", report.cacheHits);
-        cache.set("misses", report.cacheMisses);
-        doc.set("cache", cache);
-        doc.set("points", pointsJson);
-        return doc;
-    };
 
     SweepContext context;
     std::mutex progressMutex;
     std::size_t done = 0;
-    std::vector<char> finished(points.size(), 0);
     auto lastCheckpoint = t0;
     // Checkpoints replace the target wholesale (write-then-rename),
     // which would clobber a device node, pipe or symlink handed in
@@ -252,11 +57,14 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
             && !std::filesystem::is_regular_file(status))
             checkpointPath.clear();
     }
-    // Crash durability: atomically replace the checkpoint file
-    // (write-then-rename, so a kill never leaves torn JSON). Called
-    // under the progress mutex; finished results are write-once, so
-    // snapshotting them here is race-free. Best-effort: a failed
-    // rename cleans up its temp file and the sweep carries on.
+    // Crash durability: atomically AND durably replace the
+    // checkpoint file — the temp file and its directory are
+    // fsync'd around the rename, so neither a kill nor a power
+    // loss can leave a torn or empty-but-renamed checkpoint.
+    // Called under the progress mutex; finished results are
+    // write-once, so snapshotting them here is race-free.
+    // Best-effort: a failed write leaves the previous checkpoint
+    // and the sweep carries on.
     auto checkpoint = [&](bool force) {
         if (checkpointPath.empty())
             return;
@@ -267,58 +75,65 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
                    < options.checkpointSeconds)
             return;
         lastCheckpoint = now;
-        const std::string tmp = checkpointPath + ".tmp";
-        buildDoc(finished).saveFile(tmp);
-        if (std::rename(tmp.c_str(), checkpointPath.c_str()) != 0)
-            std::remove(tmp.c_str());
+        try {
+            writeFileDurable(checkpointPath,
+                             assembler.document().dump(2) + "\n");
+        } catch (const std::exception &) {
+        }
     };
     auto tick = [&](std::size_t index, bool cached, bool resumed) {
         if (!options.progress)
             return;
         SweepProgress progress;
         progress.done = ++done;
-        progress.total = points.size();
-        progress.point = &points[index];
+        progress.total = plan.points.size();
+        progress.point = &plan.points[index];
         progress.cached = cached;
         progress.resumed = resumed;
         options.progress(progress);
     };
 
     WorkStealingPool pool(options.threads);
-    pool.run(toRun.size(), [&](std::size_t task) {
-        const std::size_t index = toRun[task];
-        try {
-            results[index] =
-                runner.runPoint(points[index].config, context);
-        } catch (const std::exception &e) {
-            Json error = Json::object();
-            error.set("error", e.what());
-            results[index] = std::move(error);
-            pointFailed[index] = 1;
-        }
-        std::lock_guard<std::mutex> lock(progressMutex);
-        finished[index] = 1;
-        checkpoint(/*force=*/false);
-        tick(index, /*cached=*/false, /*resumed=*/false);
-    });
+    pool.run(
+        toRun.size(),
+        [&](std::size_t task) {
+            const std::size_t index = toRun[task];
+            Json result;
+            bool failed = false;
+            try {
+                result = assembler.runner().runPoint(
+                    plan.points[index].config, context);
+            } catch (const std::exception &e) {
+                result = Json::object();
+                result.set("error", e.what());
+                failed = true;
+            }
+            std::lock_guard<std::mutex> lock(progressMutex);
+            assembler.setResult(index, std::move(result), failed);
+            checkpoint(/*force=*/false);
+            tick(index, /*cached=*/false, /*resumed=*/false);
+        },
+        options.stopRequested);
     // Leave the checkpoint file equal to the final document, so a
     // kill between here and the caller's own write still resumes
-    // to a complete sweep.
+    // to a complete sweep. After a requested stop this is the
+    // "final checkpoint" the drain contract promises: every
+    // finished point saved, every pending point a resumable stub.
     checkpoint(/*force=*/true);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (canonical[i] != i) {
-            pointFailed[i] = pointFailed[canonical[i]];
-            tick(i, /*cached=*/true, reused[canonical[i]] != nullptr);
-        } else if (!needRun[i]) {
+    report.interrupted = assembler.pending().size();
+    std::vector<char> wasRun(plan.points.size(), 0);
+    for (std::size_t index : toRun)
+        wasRun[index] = 1;
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+        const std::size_t canon = plan.canonical[i];
+        if (canon != i)
+            tick(i, /*cached=*/true, assembler.replayed(canon));
+        else if (!wasRun[i])
             tick(i, /*cached=*/false, /*resumed=*/true);
-        }
-        if (reused[i])
-            pointFailed[i] = 0;
-        if (pointFailed[i])
-            ++report.failed;
     }
+    report.failed = assembler.failedPoints();
 
-    report.doc = buildDoc(finished);
+    report.doc = assembler.document();
     report.wallSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
     return report;

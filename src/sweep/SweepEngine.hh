@@ -90,6 +90,17 @@ struct SweepOptions
     /** Minimum seconds between checkpoint writes (0 = write after
      *  every completed point). */
     double checkpointSeconds = 5.0;
+
+    /**
+     * Graceful-drain hook, polled between points (a running point
+     * always completes). When it returns true the pool stops
+     * taking new work, a final checkpoint is written (pending
+     * points as "interrupted" stubs a later resume re-runs), and
+     * runSweep returns with SweepReport::interrupted counting the
+     * undone points. `qcarch sweep` wires its SIGINT/SIGTERM flag
+     * here. May be empty.
+     */
+    std::function<bool()> stopRequested;
 };
 
 /** Outcome of one sweep run. */
@@ -102,6 +113,9 @@ struct SweepReport
     std::size_t resumed = 0;    ///< unique points from the resume doc
     std::size_t executed = 0;   ///< unique points actually run
     std::size_t failed = 0;     ///< points that threw (see "error")
+    /** Unique points left undone by a stopRequested drain; the doc
+     *  holds "interrupted" stubs for them (0 = ran to completion). */
+    std::size_t interrupted = 0;
     double wallSeconds = 0;     ///< not part of doc (determinism)
 };
 

@@ -1,0 +1,269 @@
+#include "sweep/SweepPlan.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace qc {
+
+namespace {
+
+/** Reuse key: a point is the same point iff both its merged
+ *  configuration and its axis assignment match. Config alone is
+ *  not enough for byte-identity: the aggregated object interleaves
+ *  assignment keys with runner metrics, so a config-equal point
+ *  whose assignment moved (axis <-> base across spec edits) must
+ *  re-execute rather than replay a differently-shaped object. */
+std::string
+reuseKey(const SweepPoint &point)
+{
+    return point.config.dump(0) + '\n' + point.assignment.dump(0);
+}
+
+} // namespace
+
+std::string
+hexConfigHash(std::uint64_t hash)
+{
+    char out[17];
+    std::snprintf(out, sizeof out, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return out;
+}
+
+SweepPlan
+SweepPlan::expand(const SweepSpec &spec)
+{
+    SweepPlan plan;
+    plan.points = spec.expand();
+    if (plan.points.empty()) {
+        // A zero-point sweep (a programmatic spec with no grids)
+        // would emit a vacuous document; refuse loudly instead.
+        throw std::invalid_argument(
+            "sweep spec \"" + spec.name
+            + "\" expands to zero points; give it at least one "
+              "grid (axes may be empty for a one-point sweep)");
+    }
+
+    // Per-point config dedup: duplicate configurations (overlapping
+    // grids, degenerate axes) execute once; the rest are cache
+    // hits. The dedup keys on the full canonical dump — the 64-bit
+    // hash is reported per point but never trusted for equality, so
+    // a hash collision cannot alias two configs. The hit/miss split
+    // is a function of the point list alone, so it is deterministic
+    // across thread counts and across processes.
+    plan.hashes.resize(plan.points.size());
+    plan.canonical.resize(plan.points.size());
+    std::map<std::string, std::size_t> first;
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+        plan.hashes[i] = plan.points[i].config.hash();
+        auto [it, inserted] =
+            first.emplace(plan.points[i].config.dump(0), i);
+        plan.canonical[i] = it->second;
+        if (inserted)
+            plan.unique.push_back(i);
+    }
+    return plan;
+}
+
+std::map<std::string, const Json *>
+buildResumeIndex(const Json &doc, const std::string &runner)
+{
+    if (!doc.isObject() || !doc.has("spec") || !doc.has("points")
+        || !doc.at("points").isArray()) {
+        throw std::invalid_argument(
+            "resume document is not a sweep output (expected an "
+            "object with \"spec\" and \"points\")");
+    }
+    const SweepSpec prior = SweepSpec::fromJson(doc.at("spec"));
+    if (prior.runner != runner) {
+        throw std::invalid_argument(
+            "resume document was produced by runner \""
+            + prior.runner + "\" but this sweep uses \"" + runner
+            + "\"");
+    }
+    const std::vector<SweepPoint> priorPoints = prior.expand();
+    const Json &stored = doc.at("points");
+    if (stored.size() != priorPoints.size()) {
+        throw std::invalid_argument(
+            "resume document is truncated or edited: \"points\" "
+            "holds "
+            + std::to_string(stored.size())
+            + " entries but its spec expands to "
+            + std::to_string(priorPoints.size()));
+    }
+
+    std::map<std::string, const Json *> out;
+    for (std::size_t j = 0; j < priorPoints.size(); ++j) {
+        const Json &point = stored.at(j);
+        if (!point.isObject()) {
+            throw std::invalid_argument(
+                "resume document point " + std::to_string(j)
+                + " is not an object");
+        }
+        if (point.has("error"))
+            continue;
+        const std::string expected =
+            hexConfigHash(priorPoints[j].config.hash());
+        if (!point.has("config_hash")
+            || point.at("config_hash") != Json(expected)) {
+            throw std::invalid_argument(
+                "resume document point " + std::to_string(j)
+                + " has a config_hash mismatch (file edited, or "
+                  "produced by an incompatible engine version)");
+        }
+        out.emplace(reuseKey(priorPoints[j]), &point);
+    }
+    return out;
+}
+
+SweepAssembler::SweepAssembler(const SweepSpec &spec)
+    : spec_(spec),
+      runner_(&SweepRunnerRegistry::instance().get(spec.runner)),
+      plan_(SweepPlan::expand(spec))
+{
+    results_.resize(plan_.points.size());
+    haveResult_.assign(plan_.points.size(), 0);
+    resultFailed_.assign(plan_.points.size(), 0);
+    replayed_.resize(plan_.points.size());
+    isReplayed_.assign(plan_.points.size(), 0);
+    pendingCount_ = plan_.unique.size();
+}
+
+void
+SweepAssembler::applyResume(const Json &resumeDoc)
+{
+    const std::map<std::string, const Json *> prior =
+        buildResumeIndex(resumeDoc, spec_.runner);
+    for (std::size_t i = 0; i < plan_.points.size(); ++i) {
+        auto it = prior.find(reuseKey(plan_.points[i]));
+        if (it != prior.end()) {
+            replayed_[i] = *it->second; // copied: doc may be local
+            isReplayed_[i] = 1;
+        }
+    }
+    // A unique config still needs execution if any of its points
+    // was not replayed (a replayed duplicate does not cover a
+    // non-replayed sibling — the sibling needs the raw metrics).
+    std::vector<char> needRun(plan_.points.size(), 0);
+    for (std::size_t i = 0; i < plan_.points.size(); ++i) {
+        if (!isReplayed_[i] && !haveResult_[plan_.canonical[i]])
+            needRun[plan_.canonical[i]] = 1;
+    }
+    std::size_t pendingNow = 0;
+    for (std::size_t index : plan_.unique)
+        pendingNow += needRun[index];
+    resumed_ = pendingCount_ - pendingNow;
+    pendingCount_ = pendingNow;
+}
+
+std::vector<std::size_t>
+SweepAssembler::pending() const
+{
+    std::vector<char> needRun(plan_.points.size(), 0);
+    for (std::size_t i = 0; i < plan_.points.size(); ++i) {
+        if (!isReplayed_[i] && !haveResult_[plan_.canonical[i]])
+            needRun[plan_.canonical[i]] = 1;
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t index : plan_.unique) {
+        if (needRun[index])
+            out.push_back(index);
+    }
+    return out;
+}
+
+bool
+SweepAssembler::has(std::size_t canonicalIndex) const
+{
+    if (haveResult_[canonicalIndex])
+        return true;
+    // Covered if every expansion of this config was replayed.
+    for (std::size_t i = 0; i < plan_.points.size(); ++i) {
+        if (plan_.canonical[i] == canonicalIndex && !isReplayed_[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+SweepAssembler::setResult(std::size_t canonicalIndex, Json result,
+                          bool failed)
+{
+    if (canonicalIndex >= plan_.points.size()
+        || plan_.canonical[canonicalIndex] != canonicalIndex) {
+        throw std::invalid_argument(
+            "setResult: " + std::to_string(canonicalIndex)
+            + " is not a canonical point index");
+    }
+    if (has(canonicalIndex))
+        return false;
+    results_[canonicalIndex] = std::move(result);
+    haveResult_[canonicalIndex] = 1;
+    resultFailed_[canonicalIndex] = failed ? 1 : 0;
+    --pendingCount_;
+    return true;
+}
+
+std::size_t
+SweepAssembler::failedPoints() const
+{
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < plan_.points.size(); ++i) {
+        if (!isReplayed_[i] && resultFailed_[plan_.canonical[i]])
+            ++failed;
+    }
+    return failed;
+}
+
+Json
+SweepAssembler::document() const
+{
+    // One flat object per point — the axis assignment first, then
+    // the runner's metrics (runner keys win on collision, e.g.
+    // "trials" rounded up to a full batch); replayed points emit
+    // their stored object verbatim; pending points are recorded as
+    // {"error": "interrupted..."} stubs that a later resume
+    // re-runs.
+    Json pointsJson = Json::array();
+    for (std::size_t i = 0; i < plan_.points.size(); ++i) {
+        if (isReplayed_[i]) {
+            pointsJson.push(replayed_[i]);
+            continue;
+        }
+        const std::size_t canon = plan_.canonical[i];
+        Json point = Json::object();
+        for (const auto &[field, value] :
+             plan_.points[i].assignment.items())
+            point.set(field, value);
+        if (!haveResult_[canon]) {
+            point.set("error",
+                      "interrupted: point not computed before "
+                      "this checkpoint");
+        } else if (results_[canon].isObject()) {
+            for (const auto &[key, value] : results_[canon].items())
+                point.set(key, value);
+        }
+        point.set("config_hash", hexConfigHash(plan_.hashes[i]));
+        pointsJson.push(point);
+    }
+
+    Json doc = Json::object();
+    doc.set("schema_version", kResultSchemaVersion);
+    doc.set("sweep", spec_.name);
+    doc.set("runner", spec_.runner);
+    // Bind the metadata before iterating: range-for does not
+    // lifetime-extend a temporary through the .items() call.
+    const Json metadata = runner_->metadata();
+    for (const auto &[key, value] : metadata.items())
+        doc.set(key, value);
+    doc.set("spec", spec_.toJson());
+    doc.set("grid_points", plan_.points.size());
+    Json cache = Json::object();
+    cache.set("hits", plan_.points.size() - plan_.unique.size());
+    cache.set("misses", plan_.unique.size());
+    doc.set("cache", cache);
+    doc.set("points", pointsJson);
+    return doc;
+}
+
+} // namespace qc

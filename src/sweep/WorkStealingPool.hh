@@ -48,10 +48,17 @@ class WorkStealingPool
      * over the pool. Returns when all tasks finished. If any body
      * throws, the first exception (in worker order) is rethrown
      * after the pool drains; remaining tasks still run.
+     *
+     * `stop` (may be empty) is polled before each task is taken:
+     * once it returns true, workers take no further tasks and run()
+     * returns after in-flight tasks complete — the graceful-drain
+     * path behind `qcarch sweep`'s SIGINT/SIGTERM handling.
+     * Skipped tasks are simply never invoked.
      */
     void
     run(std::size_t tasks,
-        const std::function<void(std::size_t)> &body) const
+        const std::function<void(std::size_t)> &body,
+        const std::function<bool()> &stop = {}) const
     {
         if (tasks == 0)
             return;
@@ -69,6 +76,8 @@ class WorkStealingPool
         std::vector<std::exception_ptr> errors(n);
         auto worker = [&](std::size_t self) {
             for (;;) {
+                if (stop && stop())
+                    return;
                 std::optional<std::size_t> task =
                     popOwn(shards[self]);
                 for (std::size_t victim = 0;

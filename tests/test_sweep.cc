@@ -11,7 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "api/Qc.hh"
 #include "error/BatchAncillaSim.hh"
@@ -820,6 +824,184 @@ TEST(WorkStealingPool, PropagatesTheFirstException)
                  std::runtime_error);
     // The failing task does not abandon the rest of the sweep.
     EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(WorkStealingPool, SurvivesEveryTaskThrowing)
+{
+    // Worst case for the drain-then-rethrow contract: all tasks
+    // throw on all workers. run() must still terminate (no
+    // deadlock, no std::terminate from a second in-flight
+    // exception) and rethrow exactly one of them.
+    WorkStealingPool pool(4);
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(pool.run(97,
+                          [&](std::size_t) {
+                              attempts.fetch_add(1);
+                              throw std::invalid_argument("all");
+                          }),
+                 std::invalid_argument);
+    EXPECT_EQ(attempts.load(), 97);
+
+    // The pool object is reusable after a throwing run.
+    std::atomic<int> completed{0};
+    pool.run(16, [&](std::size_t) { completed.fetch_add(1); });
+    EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(WorkStealingPool, StopPredicateDrainsWithoutNewTasks)
+{
+    // A stop that is true from the start runs nothing.
+    WorkStealingPool pool(2);
+    std::atomic<int> ran{0};
+    pool.run(
+        64, [&](std::size_t) { ran.fetch_add(1); },
+        [] { return true; });
+    EXPECT_EQ(ran.load(), 0);
+
+    // A stop raised mid-run keeps every started task's effect and
+    // never starts another after the flag is observed.
+    std::atomic<bool> stop{false};
+    std::atomic<int> started{0};
+    WorkStealingPool serial(1);
+    serial.run(
+        64,
+        [&](std::size_t) {
+            if (started.fetch_add(1) + 1 == 5)
+                stop.store(true);
+        },
+        [&] { return stop.load(); });
+    EXPECT_EQ(started.load(), 5);
+}
+
+// ---------------------------------------------------------------
+// Checkpoint cadence and graceful drain
+// ---------------------------------------------------------------
+
+TEST(SweepEngine, CheckpointSecondsZeroWritesAfterEveryPoint)
+{
+    // With checkpointSeconds = 0 and one thread, the checkpoint on
+    // disk is never more than zero points behind: at every
+    // progress tick for an executed point the file already holds
+    // exactly `done` finished entries.
+    const SweepSpec spec =
+        SweepSpec::fromJson(parse(resume_specs::kFull));
+    const std::string path =
+        ::testing::TempDir() + "qc_sweep_everypoint.json";
+    std::remove(path.c_str());
+    SweepOptions options;
+    options.threads = 1;
+    options.checkpointPath = path;
+    options.checkpointSeconds = 0;
+    std::size_t checked = 0;
+    options.progress = [&](const SweepProgress &p) {
+        const Json snapshot = Json::loadFile(path);
+        std::size_t finished = 0;
+        for (std::size_t i = 0; i < snapshot.at("points").size();
+             ++i)
+            finished +=
+                !snapshot.at("points").at(i).has("error");
+        EXPECT_EQ(finished, p.done);
+        ++checked;
+    };
+    const SweepReport report = runSweep(spec, options);
+    EXPECT_EQ(checked, report.points);
+    std::remove(path.c_str());
+}
+
+/** A deliberately slow deterministic runner for checkpoint-cadence
+ *  tests. */
+class SlowTestRunner : public SweepRunner
+{
+  public:
+    std::string name() const override { return "test-slow"; }
+    std::string description() const override
+    {
+        return "test-only: sleeps 10 ms per point";
+    }
+    std::vector<std::string> fields() const override
+    {
+        return {"x"};
+    }
+    Json runPoint(const Json &config,
+                  SweepContext &) const override
+    {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+        Json result = Json::object();
+        result.set("y", config.at("x").asDouble() * 2);
+        return result;
+    }
+};
+
+TEST(SweepEngine, CheckpointHappensBetweenSlowPoints)
+{
+    // A single point slower than checkpointSeconds must not
+    // suppress checkpointing: the interval gates how OFTEN the
+    // engine writes, not whether a finished point reaches disk —
+    // each completed point checks the clock, so a checkpoint lands
+    // after the slow point even though the interval elapsed
+    // mid-point.
+    SweepRunnerRegistry::instance().add(
+        "test-slow", std::make_shared<SlowTestRunner>());
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "name": "slow",
+      "runner": "test-slow",
+      "axes": [{"field": "x", "values": [1, 2, 3]}]
+    })"));
+    const std::string path =
+        ::testing::TempDir() + "qc_sweep_slowpoint.json";
+    std::remove(path.c_str());
+    SweepOptions options;
+    options.threads = 1;
+    options.checkpointPath = path;
+    options.checkpointSeconds = 0.002; // each point takes ~10 ms
+    bool sawIntermediate = false;
+    options.progress = [&](const SweepProgress &p) {
+        if (p.done < p.total) {
+            std::error_code ec;
+            sawIntermediate |=
+                std::filesystem::exists(path, ec);
+        }
+    };
+    const SweepReport report = runSweep(spec, options);
+    EXPECT_TRUE(sawIntermediate);
+    // The final checkpoint equals the final document.
+    EXPECT_EQ(Json::loadFile(path).dump(), report.doc.dump());
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, StopRequestedDrainsToAResumableCheckpoint)
+{
+    // The SIGINT/SIGTERM path, minus the signal: stop after two
+    // points, expect interrupted accounting, a checkpoint whose
+    // stubs re-run on resume, and byte-identity with a fresh run.
+    const SweepSpec spec =
+        SweepSpec::fromJson(parse(resume_specs::kFull));
+    const std::string path =
+        ::testing::TempDir() + "qc_sweep_drain.json";
+    std::remove(path.c_str());
+    const SweepReport fresh = runSweep(spec);
+
+    std::size_t done = 0;
+    SweepOptions options;
+    options.threads = 1;
+    options.checkpointPath = path;
+    options.checkpointSeconds = 0;
+    options.progress = [&](const SweepProgress &) { ++done; };
+    options.stopRequested = [&] { return done >= 2; };
+    const SweepReport drained = runSweep(spec, options);
+    EXPECT_EQ(drained.interrupted, 2u);
+    EXPECT_EQ(drained.executed, 4u); // planned; only 2 ran
+
+    const Json checkpoint = Json::loadFile(path);
+    SweepOptions resumeOptions;
+    resumeOptions.resume = &checkpoint;
+    const SweepReport resumed = runSweep(spec, resumeOptions);
+    EXPECT_EQ(resumed.resumed, 2u);
+    EXPECT_EQ(resumed.executed, 2u);
+    EXPECT_EQ(resumed.interrupted, 0u);
+    EXPECT_EQ(resumed.doc.dump(), fresh.doc.dump());
+    std::remove(path.c_str());
 }
 
 } // namespace

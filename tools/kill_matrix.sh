@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# Kill-matrix gate for the sweep service (docs/SERVE.md).
+#
+# Runs `qcarch serve` + workers over specs/ci_smoke.json with a
+# deterministic fault injected at each protocol point the recovery
+# story claims to survive — worker killed before its commit
+# rename, after it, mid-rename (torn delta), a worker whose
+# heartbeat goes stale, a coordinator killed between checkpoints,
+# and a drained coordinator — then restarts the survivors and
+# requires the merged document to be byte-identical (cmp) to a
+# single-shot `qcarch sweep` of the same spec. Log assertions pin
+# the recovery path taken: the expired lease is reclaimed exactly
+# once, committed points are never re-executed (no idempotent-
+# duplicate merges), and no delta is ever rejected as conflicting.
+#
+# Usage: tools/kill_matrix.sh [QCARCH_BINARY [SPEC]]
+# Exits non-zero on the first failed leg.
+
+set -u
+
+QCARCH=${1:-./build/qcarch}
+SPEC=${2:-specs/ci_smoke.json}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/qc_kill_matrix.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+FAULT_EXIT=42        # FaultInjector::kExitCode
+INTERRUPTED_EXIT=3   # drained with a durable checkpoint
+
+fail() {
+    echo "kill_matrix: FAIL: $*" >&2
+    exit 1
+}
+
+# Shared serve/worker knobs: short lease so stale-heartbeat legs
+# resolve quickly, per-point shards so every fault leg exercises
+# the merge path repeatedly, and idle bounds so a wedged leg times
+# out instead of hanging CI.
+SERVE_ARGS=(--workers-expected 2 --shard-points 1 --lease-seconds 1
+            --poll-ms 50 --checkpoint-seconds 0 --quiet)
+WORK_ARGS=(--poll-ms 25 --backoff-max-ms 200 --max-idle-seconds 60
+           --quiet)
+
+run_worker() { # run_worker DIR [EXTRA_ARGS...]
+    local dir=$1
+    shift
+    timeout 120 "$QCARCH" work --coordinator "$dir" \
+        "${WORK_ARGS[@]}" "$@"
+}
+
+assert_clean_log() { # assert_clean_log LOGFILE
+    if grep -q "already merged; idempotent" "$1"; then
+        fail "committed points were re-executed ($1):" \
+             "$(grep 'already merged' "$1")"
+    fi
+    if grep -q "rejected conflicting delta" "$1"; then
+        fail "a conflicting delta appeared ($1)"
+    fi
+}
+
+echo "== golden single-shot document"
+"$QCARCH" sweep "$SPEC" --threads 2 --quiet \
+    --out "$WORK/golden.json" || fail "golden sweep failed"
+
+# ----------------------------------------------------------------
+# Worker fault legs: one faulted worker (must die with the fault
+# exit code), then a clean worker finishes the sweep.
+# ----------------------------------------------------------------
+for fault in crash-before-commit crash-after-commit torn-delta; do
+    echo "== worker fault: $fault"
+    dir=$WORK/$fault
+    out=$dir/out.json
+    mkdir -p "$dir"
+    timeout 120 "$QCARCH" serve "$SPEC" --out "$out" \
+        --dir "$dir/serve" "${SERVE_ARGS[@]}" &
+    serve_pid=$!
+
+    run_worker "$dir/serve" --fault "$fault"
+    rc=$?
+    [ "$rc" -eq "$FAULT_EXIT" ] \
+        || fail "$fault worker exited $rc, wanted $FAULT_EXIT"
+
+    run_worker "$dir/serve" || fail "$fault: clean worker failed"
+    wait "$serve_pid" || fail "$fault: coordinator failed"
+    cmp "$WORK/golden.json" "$out" \
+        || fail "$fault: document differs from single-shot"
+    assert_clean_log "$dir/serve/log"
+done
+
+# crash-before-commit leaves a dead owner holding an uncommitted
+# lease: the dead-PID fast path must have reclaimed it.
+grep -q "reclaimed dead owner" "$WORK/crash-before-commit/serve/log" \
+    || fail "crash-before-commit: no dead-owner reclaim logged"
+# torn-delta must be detected, rejected and recovered from.
+grep -q "rejected torn delta" "$WORK/torn-delta/serve/log" \
+    || fail "torn-delta: no torn-delta rejection logged"
+
+# ----------------------------------------------------------------
+# Stale heartbeat: an alive worker stops renewing; its lease must
+# be reclaimed exactly once and the abandoned shard recomputed.
+# ----------------------------------------------------------------
+echo "== worker fault: stale-heartbeat"
+dir=$WORK/stale
+out=$dir/out.json
+mkdir -p "$dir"
+timeout 120 "$QCARCH" serve "$SPEC" --out "$out" \
+    --dir "$dir/serve" "${SERVE_ARGS[@]}" &
+serve_pid=$!
+run_worker "$dir/serve" --fault stale-heartbeat &
+stale_pid=$!
+# The fault engages on the stale worker's first checkout; hold the
+# clean worker back until that checkout exists, or a fast clean
+# worker could drain the whole queue first and nothing would expire.
+for _ in $(seq 1 200); do
+    ls "$dir/serve/leases/"*.lease >/dev/null 2>&1 && break
+    sleep 0.05
+done
+ls "$dir/serve/leases/"*.lease >/dev/null 2>&1 \
+    || fail "stale: stale worker never checked out a shard"
+run_worker "$dir/serve" || fail "stale: clean worker failed"
+wait "$stale_pid" || fail "stale: stale worker failed to drain"
+wait "$serve_pid" || fail "stale: coordinator failed"
+cmp "$WORK/golden.json" "$out" \
+    || fail "stale: document differs from single-shot"
+assert_clean_log "$dir/serve/log"
+reclaims=$(grep -c "reclaimed expired lease" "$dir/serve/log")
+[ "$reclaims" -eq 1 ] \
+    || fail "stale: expired lease reclaimed $reclaims times, wanted 1"
+
+# ----------------------------------------------------------------
+# Coordinator crash: die (durably checkpointed) after 2 merged
+# points; the restarted coordinator must resume the checkpoint,
+# recover any leftover deltas and finish without re-execution.
+# ----------------------------------------------------------------
+echo "== coordinator fault: crash-at-point=2 + restart"
+dir=$WORK/coord-crash
+out=$dir/out.json
+mkdir -p "$dir"
+run_worker "$dir/serve" &
+worker_pid=$!
+timeout 120 "$QCARCH" serve "$SPEC" --out "$out" \
+    --dir "$dir/serve" "${SERVE_ARGS[@]}" --fault crash-at-point=2
+rc=$?
+[ "$rc" -eq "$FAULT_EXIT" ] \
+    || fail "faulted coordinator exited $rc, wanted $FAULT_EXIT"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out" \
+    || fail "coord-crash: crashed coordinator left an invalid checkpoint"
+timeout 120 "$QCARCH" serve "$SPEC" --out "$out" \
+    --dir "$dir/serve" "${SERVE_ARGS[@]}" \
+    || fail "restarted coordinator failed"
+wait "$worker_pid" || fail "coord-crash: worker failed"
+cmp "$WORK/golden.json" "$out" \
+    || fail "coord-crash: document differs from single-shot"
+assert_clean_log "$dir/serve/log"
+grep -q "resumed" "$dir/serve/log" \
+    || fail "coord-crash: restart did not resume the checkpoint"
+
+# ----------------------------------------------------------------
+# Drained coordinator: SIGTERM must write a final checkpoint, mark
+# the directory interrupted (exit 3), and restart cleanly.
+# ----------------------------------------------------------------
+echo "== coordinator drain: SIGTERM + restart"
+dir=$WORK/coord-drain
+out=$dir/out.json
+mkdir -p "$dir"
+timeout 120 "$QCARCH" serve "$SPEC" --out "$out" \
+    --dir "$dir/serve" "${SERVE_ARGS[@]}" &
+serve_pid=$!
+sleep 0.5
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rc=$?
+[ "$rc" -eq "$INTERRUPTED_EXIT" ] \
+    || fail "drained coordinator exited $rc, wanted $INTERRUPTED_EXIT"
+[ "$(cat "$dir/serve/done")" = "interrupted" ] \
+    || fail "drain: done marker is not 'interrupted'"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out" \
+    || fail "drain: checkpoint is not valid JSON"
+# The restarting coordinator removes the stale done marker itself,
+# but a worker launched in the same instant can read it first and
+# exit before any work exists. Clear it up front so the leg tests
+# recovery, not launch-ordering.
+rm -f "$dir/serve/done"
+timeout 120 "$QCARCH" serve "$SPEC" --out "$out" \
+    --dir "$dir/serve" "${SERVE_ARGS[@]}" &
+serve_pid=$!
+run_worker "$dir/serve" || fail "drain: worker failed"
+wait "$serve_pid" || fail "drain: restarted coordinator failed"
+cmp "$WORK/golden.json" "$out" \
+    || fail "drain: document differs from single-shot"
+assert_clean_log "$dir/serve/log"
+
+echo "kill_matrix: all legs passed (documents byte-identical to" \
+     "single-shot; expired lease reclaimed exactly once; no" \
+     "committed point re-executed)"

@@ -9,28 +9,53 @@
  *       (stdout, or --out).
  *
  *   qcarch sweep <spec.json> [--threads N] [--out PATH] [--quiet]
- *                [--resume PREV.json]
+ *                [--resume PREV.json] [--checkpoint-seconds S]
  *       Expand and execute a SweepSpec on the parallel sweep
  *       engine; writes the aggregated document (stdout, or --out).
  *       Output is bit-identical for a given spec regardless of
  *       --threads; progress goes to stderr. With --out, the
  *       document is checkpointed to the output path during the
- *       run, so a killed sweep leaves a valid, resumable file.
- *       --resume loads a previous output of the same runner and
- *       replays every stored point whose configuration and axis
- *       assignment match (config_hash is cross-checked), so an
- *       interrupted Table 5-8-scale grid restarts incrementally —
- *       the merged document is still byte-identical to a fresh
- *       single-shot run.
+ *       run (every S seconds; 0 = after every point), so a killed
+ *       sweep leaves a valid, resumable file. --resume loads a
+ *       previous output of the same runner and replays every
+ *       stored point whose configuration and axis assignment match
+ *       (config_hash is cross-checked), so an interrupted Table
+ *       5-8-scale grid restarts incrementally — the merged
+ *       document is still byte-identical to a fresh single-shot
+ *       run. SIGINT/SIGTERM drain the pool, write a final
+ *       checkpoint, and exit 3.
+ *
+ *   qcarch serve <spec.json> --out PATH [--dir DIR]
+ *                [--workers-expected N] [--lease-seconds S]
+ *                [--shard-points K] [--poll-ms MS]
+ *                [--checkpoint-seconds S] [--quiet]
+ *       Coordinate the same sweep across worker processes: shards
+ *       the spec into a coordination directory (default
+ *       PATH.serve), leases shards to `qcarch work` processes, and
+ *       merges their deltas into PATH — byte-identical to the
+ *       single-shot `qcarch sweep` document. Restarting on a
+ *       partial PATH resumes it. See docs/SERVE.md.
+ *
+ *   qcarch work --coordinator DIR [--poll-ms MS]
+ *               [--backoff-max-ms MS] [--max-idle-seconds S]
+ *               [--quiet]
+ *       Join a coordination directory and compute shards until the
+ *       coordinator marks it done.
  *
  *   qcarch list workloads|archs|runners
  *   qcarch list fields [runner]
  *       Discover the registries a config/spec may name.
  *
+ * Fault injection (CI only): --fault SPEC, or the QCARCH_FAULT
+ * environment variable, arms one deterministic fault (see
+ * src/serve/FaultInjector.hh). An injected crash exits 42.
+ *
  * Exit codes: 0 success, 1 input error (message on stderr),
- * 2 usage.
+ * 2 usage, 3 interrupted by SIGINT/SIGTERM with a durable
+ * checkpoint written, 42 injected fault fired.
  */
 
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <stdexcept>
@@ -38,11 +63,35 @@
 #include <vector>
 
 #include "api/Qc.hh"
+#include "serve/Serve.hh"
 #include "sweep/Sweep.hh"
 
 namespace {
 
 using namespace qc;
+
+/** Set by the SIGINT/SIGTERM handler; every long-running command
+ *  polls it through its stopRequested hook. */
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void
+onStopSignal(int)
+{
+    gStopRequested = 1;
+}
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
+bool
+stopRequested()
+{
+    return gStopRequested != 0;
+}
 
 int
 usage(std::ostream &out, int code)
@@ -50,9 +99,22 @@ usage(std::ostream &out, int code)
     out << "usage:\n"
            "  qcarch run <config.json> [--out PATH]\n"
            "  qcarch sweep <spec.json> [--threads N] [--out PATH]"
-           " [--quiet] [--resume PREV.json]\n"
+           " [--quiet]\n"
+           "               [--resume PREV.json]"
+           " [--checkpoint-seconds S]\n"
+           "  qcarch serve <spec.json> --out PATH [--dir DIR]"
+           " [--workers-expected N]\n"
+           "               [--lease-seconds S] [--shard-points K]"
+           " [--poll-ms MS]\n"
+           "               [--checkpoint-seconds S] [--quiet]\n"
+           "  qcarch work --coordinator DIR [--poll-ms MS]"
+           " [--backoff-max-ms MS]\n"
+           "               [--max-idle-seconds S] [--quiet]\n"
            "  qcarch list workloads|archs|runners\n"
-           "  qcarch list fields [runner]\n";
+           "  qcarch list fields [runner]\n"
+           "\n"
+           "exit codes: 0 ok, 1 input error, 2 usage, 3 "
+           "interrupted (checkpoint written), 42 injected fault\n";
     return code;
 }
 
@@ -87,6 +149,16 @@ takeFlag(std::vector<std::string> &args, const std::string &name)
     return false;
 }
 
+/** --fault SPEC wins over QCARCH_FAULT; both parse strictly. */
+FaultInjector
+takeFault(std::vector<std::string> &args)
+{
+    const std::string spec = takeOption(args, "--fault");
+    if (!spec.empty())
+        return FaultInjector::parse(spec);
+    return FaultInjector::fromEnv();
+}
+
 void
 emit(const Json &doc, const std::string &out)
 {
@@ -113,6 +185,9 @@ cmdSweep(std::vector<std::string> args)
     const std::string out = takeOption(args, "--out");
     const std::string threads = takeOption(args, "--threads");
     const std::string resumePath = takeOption(args, "--resume");
+    const std::string checkpointSeconds =
+        takeOption(args, "--checkpoint-seconds");
+    const FaultInjector fault = takeFault(args);
     const bool quiet = takeFlag(args, "--quiet");
     if (args.size() != 1)
         return usage(std::cerr, 2);
@@ -125,6 +200,9 @@ cmdSweep(std::vector<std::string> args)
     // killed sweep leaves a valid document (finished points plus
     // "interrupted" stubs) that --resume restarts from.
     options.checkpointPath = out;
+    if (!checkpointSeconds.empty())
+        options.checkpointSeconds = std::stod(checkpointSeconds);
+    options.stopRequested = stopRequested;
 
     // Load the previous output up front so an unreadable or
     // truncated file fails before any point executes (exit 1, no
@@ -140,20 +218,30 @@ cmdSweep(std::vector<std::string> args)
         options.resume = &resumeDoc;
     }
 
-    if (!quiet) {
-        options.progress = [](const SweepProgress &p) {
-            // \x1b[K erases the tail of the previous (possibly
-            // longer) progress line after the carriage return.
-            std::cerr << "\r[" << p.done << "/" << p.total << "] "
-                      << p.point->assignment.dump(0)
-                      << (p.cached ? " (cached)"
-                                   : p.resumed ? " (resumed)" : "")
-                      << "\x1b[K"
-                      << (p.done == p.total ? "\n" : "")
-                      << std::flush;
-        };
-    }
+    // Progress doubles as the fault hook: crash-at-point=K fires
+    // after the K-th executed point is finished — and, because the
+    // engine checkpoints before it ticks progress, after that
+    // point is durably checkpointed when --checkpoint-seconds is
+    // small enough.
+    std::size_t executedSoFar = 0;
+    options.progress = [&](const SweepProgress &p) {
+        if (!p.cached && !p.resumed) {
+            ++executedSoFar;
+            fault.fireAtPoint(executedSoFar);
+        }
+        if (quiet)
+            return;
+        // \x1b[K erases the tail of the previous (possibly
+        // longer) progress line after the carriage return.
+        std::cerr << "\r[" << p.done << "/" << p.total << "] "
+                  << p.point->assignment.dump(0)
+                  << (p.cached ? " (cached)"
+                               : p.resumed ? " (resumed)" : "")
+                  << "\x1b[K" << (p.done == p.total ? "\n" : "")
+                  << std::flush;
+    };
 
+    installStopHandlers();
     const SweepReport report = runSweep(spec, options);
     emit(report.doc, out);
     if (!quiet) {
@@ -163,8 +251,98 @@ cmdSweep(std::vector<std::string> args)
                   << report.cacheHits << " cached, "
                   << report.failed << " failed) in "
                   << report.wallSeconds << " s\n";
+        if (report.interrupted > 0) {
+            std::cerr << "interrupted: " << report.interrupted
+                      << " points pending; resume with --resume "
+                      << (out.empty() ? "<checkpoint>" : out)
+                      << "\n";
+        }
     }
+    if (report.interrupted > 0)
+        return kInterruptedExit;
     return report.failed == 0 ? 0 : 1;
+}
+
+int
+cmdServe(std::vector<std::string> args)
+{
+    CoordinatorOptions options;
+    options.outPath = takeOption(args, "--out");
+    options.dir = takeOption(args, "--dir");
+    const std::string workers =
+        takeOption(args, "--workers-expected");
+    const std::string lease = takeOption(args, "--lease-seconds");
+    const std::string shardPoints =
+        takeOption(args, "--shard-points");
+    const std::string pollMs = takeOption(args, "--poll-ms");
+    const std::string checkpointSeconds =
+        takeOption(args, "--checkpoint-seconds");
+    options.fault = takeFault(args);
+    options.quiet = takeFlag(args, "--quiet");
+    if (args.size() != 1 || options.outPath.empty())
+        return usage(std::cerr, 2);
+    if (options.dir.empty())
+        options.dir = options.outPath + ".serve";
+    if (!workers.empty())
+        options.workersExpected = std::stoi(workers);
+    if (!lease.empty())
+        options.leaseSeconds = std::stod(lease);
+    if (!shardPoints.empty())
+        options.shardPoints =
+            static_cast<std::size_t>(std::stoul(shardPoints));
+    if (!pollMs.empty())
+        options.pollMs = std::stoi(pollMs);
+    if (!checkpointSeconds.empty())
+        options.checkpointSeconds = std::stod(checkpointSeconds);
+    options.stopRequested = stopRequested;
+
+    const SweepSpec spec = SweepSpec::load(args[0]);
+    installStopHandlers();
+    const CoordinatorReport report = runCoordinator(spec, options);
+    if (!options.quiet) {
+        std::cerr << "serve: " << report.executed << " executed, "
+                  << report.resumed << " resumed, "
+                  << report.duplicates << " duplicate, "
+                  << report.rejected << " rejected, "
+                  << (report.reclaimedExpired
+                      + report.reclaimedDead)
+                  << " reclaimed, " << report.failed << " failed\n";
+    }
+    if (report.interrupted)
+        return kInterruptedExit;
+    return report.failed == 0 ? 0 : 1;
+}
+
+int
+cmdWork(std::vector<std::string> args)
+{
+    WorkerOptions options;
+    options.dir = takeOption(args, "--coordinator");
+    const std::string pollMs = takeOption(args, "--poll-ms");
+    const std::string backoffMaxMs =
+        takeOption(args, "--backoff-max-ms");
+    const std::string maxIdle =
+        takeOption(args, "--max-idle-seconds");
+    options.fault = takeFault(args);
+    options.quiet = takeFlag(args, "--quiet");
+    if (!args.empty() || options.dir.empty())
+        return usage(std::cerr, 2);
+    if (!pollMs.empty())
+        options.pollMs = std::stoi(pollMs);
+    if (!backoffMaxMs.empty())
+        options.backoffMaxMs = std::stoi(backoffMaxMs);
+    if (!maxIdle.empty())
+        options.maxIdleSeconds = std::stod(maxIdle);
+    options.stopRequested = stopRequested;
+
+    installStopHandlers();
+    const WorkerReport report = runWorker(options);
+    if (!options.quiet) {
+        std::cerr << "work: " << report.shards << " shard(s), "
+                  << report.points << " point(s), "
+                  << report.abandoned << " abandoned\n";
+    }
+    return report.exitCode;
 }
 
 int
@@ -223,6 +401,10 @@ main(int argc, char **argv)
             return cmdRun(std::move(args));
         if (command == "sweep")
             return cmdSweep(std::move(args));
+        if (command == "serve")
+            return cmdServe(std::move(args));
+        if (command == "work")
+            return cmdWork(std::move(args));
         if (command == "list")
             return cmdList(std::move(args));
         if (command == "--help" || command == "help")
