@@ -1,11 +1,13 @@
 #include "api/Json.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace qc {
 
@@ -71,10 +73,16 @@ appendNumber(std::string &out, double v)
         out += "null";
         return;
     }
-    std::ostringstream ss;
-    ss.precision(17);
-    ss << v;
-    out += ss.str();
+    // std::to_chars is locale-independent by definition; an
+    // ostringstream here would honor the global locale's decimal
+    // separator and could emit "0,5" — invalid JSON — under e.g.
+    // de_DE. %.17g-equivalent formatting keeps the bytes identical
+    // to the previous precision(17) stream under the C locale
+    // (round-trip exact for every double).
+    char buf[32];
+    const std::to_chars_result r = std::to_chars(
+        buf, buf + sizeof buf, v, std::chars_format::general, 17);
+    out.append(buf, r.ptr);
 }
 
 /** Recursive-descent parser over a bounds-checked cursor. */
@@ -283,15 +291,19 @@ class Parser
         if (pos_ == start)
             jsonError("expected a value at offset "
                       + std::to_string(start));
-        std::size_t used = 0;
         const std::string token = text_.substr(start, pos_ - start);
+        // std::from_chars parses in the C locale regardless of the
+        // global locale (std::stod would read "0,5" under de_DE).
+        // It rejects a leading '+', which strtod accepted — keep
+        // accepting it for compatibility with the old parser.
+        const char *first = token.data();
+        const char *last = token.data() + token.size();
+        if (first != last && *first == '+')
+            ++first;
         double value = 0;
-        try {
-            value = std::stod(token, &used);
-        } catch (const std::exception &) {
-            jsonError("bad number '" + token + "'");
-        }
-        if (used != token.size())
+        const std::from_chars_result r =
+            std::from_chars(first, last, value);
+        if (r.ec != std::errc() || r.ptr != last || first == last)
             jsonError("bad number '" + token + "'");
         return Json(value);
     }

@@ -1,0 +1,51 @@
+#include "common/Clock.hh"
+
+#include <chrono>
+
+namespace qc {
+
+namespace {
+
+/** The real clock. This is the whitelisted home of the repo's only
+ *  raw system_clock read (qclint rule `wall-clock`). */
+class SystemWallClock : public WallClock
+{
+  public:
+    std::int64_t epochMs() override
+    {
+        return std::chrono::duration_cast<
+                   std::chrono::milliseconds>(
+                   std::chrono::system_clock::now()
+                       .time_since_epoch())
+            .count();
+    }
+};
+
+SystemWallClock gSystemClock;
+
+/** nullptr means "the system clock" so a static fake installed
+ *  before main still beats static-init ordering. */
+std::atomic<WallClock *> gOverride{nullptr};
+
+} // namespace
+
+WallClock &
+WallClock::current()
+{
+    WallClock *installed = gOverride.load();
+    return installed ? *installed : gSystemClock;
+}
+
+WallClock *
+WallClock::install(WallClock *clock)
+{
+    return gOverride.exchange(clock);
+}
+
+std::int64_t
+wallClockEpochMs()
+{
+    return WallClock::current().epochMs();
+}
+
+} // namespace qc

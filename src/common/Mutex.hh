@@ -1,0 +1,64 @@
+/**
+ * @file
+ * An annotated mutex for clang thread-safety analysis. qc::Mutex is
+ * std::mutex wearing QC_CAPABILITY attributes; qc::MutexLock is the
+ * matching scoped lock. Code that guards data with QC_GUARDED_BY
+ * must lock through these types — a plain std::lock_guard over a
+ * plain std::mutex is invisible to the analysis (libstdc++ ships no
+ * capability annotations), so guarded accesses under it would be
+ * diagnosed as unlocked.
+ *
+ * The wrapper adds no state and no behavior: it compiles to exactly
+ * the std::mutex calls it forwards to.
+ */
+
+#ifndef QC_COMMON_MUTEX_HH
+#define QC_COMMON_MUTEX_HH
+
+#include <mutex>
+
+#include "common/ThreadAnnotations.hh"
+
+namespace qc {
+
+/** std::mutex as a clang thread-safety capability. */
+class QC_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() QC_ACQUIRE() { mutex_.lock(); }
+    void unlock() QC_RELEASE() { mutex_.unlock(); }
+    bool try_lock() QC_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** Scoped lock over qc::Mutex (the annotated std::lock_guard). */
+class QC_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) QC_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() QC_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+} // namespace qc
+
+#endif // QC_COMMON_MUTEX_HH

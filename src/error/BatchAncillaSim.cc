@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "codes/SteaneCode.hh"
+#include "common/Mutex.hh"
 
 namespace qc {
 
@@ -647,11 +648,32 @@ BatchAncillaSim::run(ZeroPrepStrategy strategy, bool pi8,
     if (static_cast<std::uint64_t>(threads) > num_batches)
         threads = static_cast<int>(num_batches);
 
-    std::vector<PrepEstimate> shard(
-        static_cast<std::size_t>(threads));
+    /**
+     * Cross-thread tally aggregation behind an annotated mutex:
+     * each worker folds its whole-run counters in once, at the end.
+     * Unsigned sums commute, so the (scheduling-dependent) merge
+     * order cannot affect the totals — thread-count invariance of
+     * the estimate is preserved by algebra, not by ordering.
+     */
+    struct TallyBoard
+    {
+        Mutex mutex;
+        std::uint64_t failures QC_GUARDED_BY(mutex) = 0;
+        std::uint64_t verifyTrials QC_GUARDED_BY(mutex) = 0;
+        std::uint64_t discards QC_GUARDED_BY(mutex) = 0;
+        std::uint64_t correctionTrials QC_GUARDED_BY(mutex) = 0;
+        std::uint64_t correctionDiscards QC_GUARDED_BY(mutex) = 0;
+    } tallies;
+
+    // The batch-claim counter is memory_order_relaxed on purpose:
+    // it only partitions indices. Each claimed batch touches
+    // nothing shared (worker-local frame, read-only seed table),
+    // and every tally is published under tallies.mutex after the
+    // loop — the counter itself synchronizes nothing. See
+    // docs/ANALYSIS.md ("Relaxed atomics").
     std::atomic<std::uint64_t> next{0};
 
-    auto work = [&](int ti) {
+    auto work = [&]() {
         BatchWorker worker(errors_, movement_, semantics_, words);
         for (;;) {
             const std::uint64_t b =
@@ -667,31 +689,32 @@ BatchAncillaSim::run(ZeroPrepStrategy strategy, bool pi8,
             else
                 worker.runZeroBatch(Rng(seeds[b]), strategy, active);
         }
-        PrepEstimate &out = shard[static_cast<std::size_t>(ti)];
-        out.failures = worker.failures;
-        out.verifyTrials = worker.verifyAttempts;
-        out.discards = worker.verifyFailures;
-        out.correctionTrials = worker.correctionAttempts;
-        out.correctionDiscards = worker.correctionFailures;
+        MutexLock lock(tallies.mutex);
+        tallies.failures += worker.failures;
+        tallies.verifyTrials += worker.verifyAttempts;
+        tallies.discards += worker.verifyFailures;
+        tallies.correctionTrials += worker.correctionAttempts;
+        tallies.correctionDiscards += worker.correctionFailures;
     };
 
     if (threads == 1) {
-        work(0);
+        work();
     } else {
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(threads));
         for (int t = 0; t < threads; ++t)
-            pool.emplace_back(work, t);
+            pool.emplace_back(work);
         for (auto &th : pool)
             th.join();
     }
 
-    for (const PrepEstimate &s : shard) {
-        est.failures += s.failures;
-        est.verifyTrials += s.verifyTrials;
-        est.discards += s.discards;
-        est.correctionTrials += s.correctionTrials;
-        est.correctionDiscards += s.correctionDiscards;
+    {
+        MutexLock lock(tallies.mutex);
+        est.failures = tallies.failures;
+        est.verifyTrials = tallies.verifyTrials;
+        est.discards = tallies.discards;
+        est.correctionTrials = tallies.correctionTrials;
+        est.correctionDiscards = tallies.correctionDiscards;
     }
     return est;
 }

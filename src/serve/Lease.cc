@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -12,6 +11,7 @@
 #include <unistd.h>
 
 #include "api/Json.hh"
+#include "common/Clock.hh"
 #include "common/DurableFile.hh"
 
 namespace qc {
@@ -47,9 +47,9 @@ fromJson(const Json &j, LeaseInfo &out)
 std::int64_t
 nowEpochMs()
 {
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               std::chrono::system_clock::now().time_since_epoch())
-        .count();
+    // Routed through the injectable clock seam so lease-expiry
+    // tests step a FakeWallClock instead of sleeping out TTLs.
+    return wallClockEpochMs();
 }
 
 bool

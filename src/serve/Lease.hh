@@ -33,7 +33,9 @@
 
 namespace qc {
 
-/** Epoch milliseconds (system clock — leases are wall-clock). */
+/** Epoch milliseconds (wall-clock — leases expire in real time).
+ *  Reads qc::WallClock::current(), so tests can install a
+ *  FakeWallClock (common/Clock.hh) and step lease expiry by hand. */
 std::int64_t nowEpochMs();
 
 /** The contents of one lease file. */

@@ -1,7 +1,6 @@
 #include "serve/Worker.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -14,6 +13,7 @@
 #include <unistd.h>
 
 #include "common/DurableFile.hh"
+#include "common/Mutex.hh"
 #include "serve/Coordinator.hh" // kInterruptedExit
 #include "serve/Lease.hh"
 #include "serve/Protocol.hh"
@@ -73,8 +73,13 @@ listQueue(const ServeDir &dir)
     return out;
 }
 
-/** Renews the lease every TTL/3 from a side thread; lost() flips
- *  when a renewal fails (the lease was reclaimed or replaced). */
+/**
+ * Renews the lease every TTL/3 from a side thread; lost() flips
+ * when a renewal fails (the lease was reclaimed or replaced). The
+ * stop/lost handshake between the compute thread and the heartbeat
+ * thread lives behind an annotated mutex, so clang's thread-safety
+ * analysis proves every access is serialized.
+ */
 class Heartbeat
 {
   public:
@@ -88,14 +93,33 @@ class Heartbeat
 
     ~Heartbeat()
     {
-        stop_.store(true);
+        {
+            MutexLock lock(mutex_);
+            stop_ = true;
+        }
         if (thread_.joinable())
             thread_.join();
     }
 
-    bool lost() const { return lost_.load(); }
+    bool lost() const QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return lost_;
+    }
 
   private:
+    bool stopRequested() const QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return stop_;
+    }
+
+    void markLost() QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        lost_ = true;
+    }
+
     void loop()
     {
         const auto interval = std::chrono::milliseconds(
@@ -103,10 +127,10 @@ class Heartbeat
                            static_cast<long>(mine_.ttlSeconds
                                              * 1000.0 / 3.0)));
         auto next = std::chrono::steady_clock::now() + interval;
-        while (!stop_.load()) {
+        while (!stopRequested()) {
             if (std::chrono::steady_clock::now() >= next) {
                 if (!Lease::renew(path_, mine_)) {
-                    lost_.store(true);
+                    markLost();
                     return;
                 }
                 next = std::chrono::steady_clock::now() + interval;
@@ -116,11 +140,12 @@ class Heartbeat
         }
     }
 
-    std::string path_;
-    LeaseInfo mine_;
+    const std::string path_;
+    const LeaseInfo mine_;
     std::thread thread_;
-    std::atomic<bool> stop_{false};
-    std::atomic<bool> lost_{false};
+    mutable Mutex mutex_;
+    bool stop_ QC_GUARDED_BY(mutex_) = false;
+    bool lost_ QC_GUARDED_BY(mutex_) = false;
 };
 
 class Worker

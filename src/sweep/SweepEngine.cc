@@ -2,11 +2,12 @@
 
 #include <chrono>
 #include <filesystem>
-#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/DurableFile.hh"
+#include "common/Mutex.hh"
 #include "sweep/SweepPlan.hh"
 #include "sweep/WorkStealingPool.hh"
 
@@ -14,14 +15,139 @@ namespace qc {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using SteadyClock = std::chrono::steady_clock;
+
+/**
+ * The engine's shared mutable state during the parallel phase:
+ * result slots, checkpoint writes and progress ticks, serialized
+ * under one annotated mutex. Pool workers call commit(); the main
+ * thread calls finalCheckpoint()/replayTick() after the pool has
+ * drained (still through the lock — cheap, and it keeps the
+ * annotations unconditional).
+ *
+ * Checkpoint-before-tick ordering is part of the engine contract:
+ * `qcarch sweep`'s crash-at-point fault relies on the K-th executed
+ * point being durably checkpointed before its progress tick fires.
+ */
+class PointSink
+{
+  public:
+    PointSink(SweepAssembler &assembler, const SweepPlan &plan,
+              const SweepOptions &options,
+              std::string checkpointPath,
+              SteadyClock::time_point start)
+        : assembler_(&assembler), plan_(plan), options_(options),
+          checkpointPath_(std::move(checkpointPath)),
+          lastCheckpoint_(start)
+    {
+    }
+
+    /** Lands one executed result: slot write, periodic checkpoint,
+     *  progress tick — atomically with respect to other commits. */
+    void commit(std::size_t index, Json result, bool failed)
+        QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        assembler_->setResult(index, std::move(result), failed);
+        checkpoint(/*force=*/false);
+        tick(index, /*cached=*/false, /*resumed=*/false);
+    }
+
+    /** The end-of-run checkpoint: leaves the file equal to the
+     *  final document (or, after a drain, to a resumable one). */
+    void finalCheckpoint() QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        checkpoint(/*force=*/true);
+    }
+
+    /** Progress tick for a point satisfied without executing
+     *  (memo duplicate or resume replay). */
+    void replayTick(std::size_t index, bool cached, bool resumed)
+        QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        tick(index, cached, resumed);
+    }
+
+  private:
+    /**
+     * Crash durability: atomically AND durably replace the
+     * checkpoint file — the temp file and its directory are
+     * fsync'd around the rename, so neither a kill nor a power
+     * loss can leave a torn or empty-but-renamed checkpoint.
+     * Finished results are write-once, so snapshotting the
+     * document under the lock is race-free. Best-effort: a failed
+     * write leaves the previous checkpoint and the sweep carries
+     * on.
+     */
+    void checkpoint(bool force) QC_REQUIRES(mutex_)
+    {
+        if (checkpointPath_.empty())
+            return;
+        const auto now = SteadyClock::now();
+        if (!force
+            && std::chrono::duration<double>(now - lastCheckpoint_)
+                       .count()
+                   < options_.checkpointSeconds)
+            return;
+        lastCheckpoint_ = now;
+        try {
+            writeFileDurable(checkpointPath_,
+                             assembler_->document().dump(2) + "\n");
+        } catch (const std::exception &) {
+        }
+    }
+
+    void tick(std::size_t index, bool cached, bool resumed)
+        QC_REQUIRES(mutex_)
+    {
+        if (!options_.progress)
+            return;
+        SweepProgress progress;
+        progress.done = ++done_;
+        progress.total = plan_.points.size();
+        progress.point = &plan_.points[index];
+        progress.cached = cached;
+        progress.resumed = resumed;
+        options_.progress(progress);
+    }
+
+    mutable Mutex mutex_;
+    SweepAssembler *const assembler_ QC_PT_GUARDED_BY(mutex_);
+    const SweepPlan &plan_;
+    const SweepOptions &options_;
+    const std::string checkpointPath_;
+    SteadyClock::time_point lastCheckpoint_ QC_GUARDED_BY(mutex_);
+    std::size_t done_ QC_GUARDED_BY(mutex_) = 0;
+};
+
+/**
+ * Checkpoints replace the target wholesale (write-then-rename),
+ * which would clobber a device node, pipe or symlink handed in as
+ * the output path (`--out /dev/null`): only checkpoint onto a
+ * regular file or a not-yet-existing path.
+ */
+std::string
+safeCheckpointPath(const std::string &requested)
+{
+    if (requested.empty())
+        return requested;
+    std::error_code ec;
+    const std::filesystem::file_status status =
+        std::filesystem::symlink_status(requested, ec);
+    if (!ec && std::filesystem::exists(status)
+        && !std::filesystem::is_regular_file(status))
+        return "";
+    return requested;
+}
 
 } // namespace
 
 SweepReport
 runSweep(const SweepSpec &spec, const SweepOptions &options)
 {
-    const auto t0 = Clock::now();
+    const auto t0 = SteadyClock::now();
 
     // The assembler owns expansion, dedup, resume replay and
     // document aggregation — the same layer `qcarch serve` builds
@@ -41,57 +167,8 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
     report.executed = toRun.size();
 
     SweepContext context;
-    std::mutex progressMutex;
-    std::size_t done = 0;
-    auto lastCheckpoint = t0;
-    // Checkpoints replace the target wholesale (write-then-rename),
-    // which would clobber a device node, pipe or symlink handed in
-    // as the output path (`--out /dev/null`): only checkpoint onto
-    // a regular file or a not-yet-existing path.
-    std::string checkpointPath = options.checkpointPath;
-    if (!checkpointPath.empty()) {
-        std::error_code ec;
-        const std::filesystem::file_status status =
-            std::filesystem::symlink_status(checkpointPath, ec);
-        if (!ec && std::filesystem::exists(status)
-            && !std::filesystem::is_regular_file(status))
-            checkpointPath.clear();
-    }
-    // Crash durability: atomically AND durably replace the
-    // checkpoint file — the temp file and its directory are
-    // fsync'd around the rename, so neither a kill nor a power
-    // loss can leave a torn or empty-but-renamed checkpoint.
-    // Called under the progress mutex; finished results are
-    // write-once, so snapshotting them here is race-free.
-    // Best-effort: a failed write leaves the previous checkpoint
-    // and the sweep carries on.
-    auto checkpoint = [&](bool force) {
-        if (checkpointPath.empty())
-            return;
-        const auto now = Clock::now();
-        if (!force
-            && std::chrono::duration<double>(now - lastCheckpoint)
-                       .count()
-                   < options.checkpointSeconds)
-            return;
-        lastCheckpoint = now;
-        try {
-            writeFileDurable(checkpointPath,
-                             assembler.document().dump(2) + "\n");
-        } catch (const std::exception &) {
-        }
-    };
-    auto tick = [&](std::size_t index, bool cached, bool resumed) {
-        if (!options.progress)
-            return;
-        SweepProgress progress;
-        progress.done = ++done;
-        progress.total = plan.points.size();
-        progress.point = &plan.points[index];
-        progress.cached = cached;
-        progress.resumed = resumed;
-        options.progress(progress);
-    };
+    PointSink sink(assembler, plan, options,
+                   safeCheckpointPath(options.checkpointPath), t0);
 
     WorkStealingPool pool(options.threads);
     pool.run(
@@ -108,10 +185,7 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
                 result.set("error", e.what());
                 failed = true;
             }
-            std::lock_guard<std::mutex> lock(progressMutex);
-            assembler.setResult(index, std::move(result), failed);
-            checkpoint(/*force=*/false);
-            tick(index, /*cached=*/false, /*resumed=*/false);
+            sink.commit(index, std::move(result), failed);
         },
         options.stopRequested);
     // Leave the checkpoint file equal to the final document, so a
@@ -119,7 +193,7 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
     // to a complete sweep. After a requested stop this is the
     // "final checkpoint" the drain contract promises: every
     // finished point saved, every pending point a resumable stub.
-    checkpoint(/*force=*/true);
+    sink.finalCheckpoint();
     report.interrupted = assembler.pending().size();
     std::vector<char> wasRun(plan.points.size(), 0);
     for (std::size_t index : toRun)
@@ -127,15 +201,17 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
     for (std::size_t i = 0; i < plan.points.size(); ++i) {
         const std::size_t canon = plan.canonical[i];
         if (canon != i)
-            tick(i, /*cached=*/true, assembler.replayed(canon));
+            sink.replayTick(i, /*cached=*/true,
+                            assembler.replayed(canon));
         else if (!wasRun[i])
-            tick(i, /*cached=*/false, /*resumed=*/true);
+            sink.replayTick(i, /*cached=*/false, /*resumed=*/true);
     }
     report.failed = assembler.failedPoints();
 
     report.doc = assembler.document();
     report.wallSeconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+        std::chrono::duration<double>(SteadyClock::now() - t0)
+            .count();
     return report;
 }
 

@@ -21,10 +21,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/Mutex.hh"
 
 namespace qc {
 
@@ -65,9 +66,13 @@ class WorkStealingPool
         const std::size_t n = std::min(workers_, tasks);
 
         // Seed contiguous runs of tasks round-robin across workers.
+        // No worker threads exist yet, but the queues are guarded
+        // state: lock anyway (uncontended) so the annotations hold
+        // everywhere.
         std::vector<Shard> shards(n);
         const std::size_t chunk = (tasks + n - 1) / n;
         for (std::size_t w = 0, next = 0; w < n; ++w) {
+            MutexLock lock(shards[w].mutex);
             for (std::size_t i = 0;
                  i < chunk && next < tasks; ++i, ++next)
                 shards[w].queue.push_back(next);
@@ -112,14 +117,14 @@ class WorkStealingPool
   private:
     struct Shard
     {
-        std::mutex mutex;
-        std::deque<std::size_t> queue;
+        Mutex mutex;
+        std::deque<std::size_t> queue QC_GUARDED_BY(mutex);
     };
 
     static std::optional<std::size_t>
     popOwn(Shard &shard)
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         if (shard.queue.empty())
             return std::nullopt;
         const std::size_t task = shard.queue.front();
@@ -130,7 +135,7 @@ class WorkStealingPool
     static std::optional<std::size_t>
     steal(Shard &shard)
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         if (shard.queue.empty())
             return std::nullopt;
         const std::size_t task = shard.queue.back();

@@ -1,0 +1,6 @@
+// qclint-fixture: path=src/sweep/Example.cc
+// qclint-fixture: expect=bad-waiver:5
+#include <cstdlib>
+
+// qclint: allow(wall-clock)
+int jitter() { return rand() % 10; }

@@ -1,0 +1,8 @@
+// qclint-fixture: path=src/api/Json.cc
+// qclint-fixture: expect=locale-float:6, locale-float:8
+#include <iomanip>
+#include <string>
+
+double parse(const std::string &s) { return std::stod(s); }
+
+void fmt(std::ostream &os) { os << std::setprecision(17); }

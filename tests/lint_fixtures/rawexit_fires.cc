@@ -1,0 +1,5 @@
+// qclint-fixture: path=src/sweep/Crash.cc
+// qclint-fixture: expect=raw-exit:5
+#include <unistd.h>
+
+void die() { _exit(3); }

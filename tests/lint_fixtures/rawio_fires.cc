@@ -1,0 +1,8 @@
+// qclint-fixture: path=src/sweep/Dump.cc
+// qclint-fixture: expect=raw-io:6, raw-io:8
+#include <cstdio>
+#include <fstream>
+
+void dump() { std::ofstream out("checkpoint.json"); }
+
+void swap() { std::rename("a.json", "b.json"); }

@@ -1,0 +1,8 @@
+// qclint-fixture: path=src/api/Emit.cc
+// qclint-fixture: expect=unordered-iteration:8
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> gCounts;
+
+void emit() { for (const auto &kv : gCounts) (void)kv; }

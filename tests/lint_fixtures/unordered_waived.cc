@@ -1,0 +1,8 @@
+// qclint-fixture: path=src/api/Sum.cc
+// qclint-fixture: expect=clean
+#include <unordered_set>
+
+std::unordered_set<int> gSeen;
+
+// qclint: allow(unordered-iteration): feeds an order-insensitive sum, never serialized output
+void total(long &t) { for (int v : gSeen) t += v; }

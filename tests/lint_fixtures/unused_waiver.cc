@@ -1,0 +1,5 @@
+// qclint-fixture: path=src/sweep/Example.cc
+// qclint-fixture: expect=bad-waiver:4
+
+// qclint: allow(raw-io): left over from an old write path
+int answer() { return 42; }

@@ -1,0 +1,8 @@
+// qclint-fixture: path=src/sweep/Example.cc
+// qclint-fixture: expect=wall-clock:6, wall-clock:8
+#include <chrono>
+#include <cstdlib>
+
+int jitter() { return rand() % 10; }
+
+long now() { return std::chrono::system_clock::now().time_since_epoch().count(); }

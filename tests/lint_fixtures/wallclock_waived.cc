@@ -1,0 +1,6 @@
+// qclint-fixture: path=src/sweep/Example.cc
+// qclint-fixture: expect=clean
+#include <cstdlib>
+
+// qclint: allow(wall-clock): jitter only perturbs backoff timing, never results
+int jitter() { return rand() % 10; }

@@ -1,15 +1,17 @@
 /**
  * @file
  * Unit tests for the common module: units, parameters, RNG,
- * statistics and table formatting.
+ * statistics, table formatting and the injectable wall clock.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
 
+#include "common/Clock.hh"
 #include "common/Params.hh"
 #include "common/Rng.hh"
 #include "common/Stats.hh"
@@ -240,6 +242,41 @@ TEST(Table, Formatters)
     EXPECT_EQ(fmtInt(42), "42");
     EXPECT_EQ(fmtPct(0.782, 1), "78.2%");
     EXPECT_EQ(fmtSci(0.000029, 1), "2.9e-05");
+}
+
+TEST(Clock, SystemClockIsTheDefaultAndLooksLikeEpochMs)
+{
+    // No fake installed: reads must come from the real system
+    // clock. 2020-01-01 in epoch ms is a loose sanity floor.
+    const std::int64_t t = wallClockEpochMs();
+    EXPECT_GT(t, INT64_C(1577836800000));
+    EXPECT_GE(wallClockEpochMs(), t);
+}
+
+TEST(Clock, FakeClockOnlyMovesWhenAdvanced)
+{
+    FakeWallClock fake(INT64_C(1000));
+    ScopedWallClock scoped(fake);
+    EXPECT_EQ(wallClockEpochMs(), 1000);
+    EXPECT_EQ(wallClockEpochMs(), 1000);
+    fake.advanceMs(250);
+    EXPECT_EQ(wallClockEpochMs(), 1250);
+    fake.setMs(INT64_C(5000));
+    EXPECT_EQ(wallClockEpochMs(), 5000);
+}
+
+TEST(Clock, ScopedInstallRestoresThePreviousClock)
+{
+    FakeWallClock outer(INT64_C(10));
+    ScopedWallClock outerScope(outer);
+    {
+        FakeWallClock inner(INT64_C(99));
+        ScopedWallClock innerScope(inner);
+        EXPECT_EQ(wallClockEpochMs(), 99);
+    }
+    // Leaving the inner scope restores the outer fake, not the
+    // system clock.
+    EXPECT_EQ(wallClockEpochMs(), 10);
 }
 
 } // namespace

@@ -23,6 +23,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/Clock.hh"
 #include "common/DurableFile.hh"
 #include "serve/Serve.hh"
 #include "sweep/Sweep.hh"
@@ -105,6 +106,8 @@ TEST(Lease, AcquisitionIsExclusive)
 
 TEST(Lease, RenewRequiresTheOwnersNonce)
 {
+    FakeWallClock clock;
+    ScopedWallClock scoped(clock);
     ScratchDir dir("qc_lease_renew");
     const std::string path = dir.file("a.lease");
     LeaseInfo mine;
@@ -115,11 +118,11 @@ TEST(Lease, RenewRequiresTheOwnersNonce)
     LeaseInfo before;
     ASSERT_TRUE(Lease::read(path, before));
 
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    clock.advanceMs(5000);
     ASSERT_TRUE(Lease::renew(path, mine));
     LeaseInfo after;
     ASSERT_TRUE(Lease::read(path, after));
-    EXPECT_GE(after.expiresMs, before.expiresMs);
+    EXPECT_EQ(after.expiresMs, before.expiresMs + 5000);
 
     // A usurper's renewal must not resurrect its claim.
     LeaseInfo other = mine;
@@ -132,16 +135,24 @@ TEST(Lease, RenewRequiresTheOwnersNonce)
 
 TEST(Lease, ExpiryIsWallClock)
 {
+    // Expiry is driven by the injectable wall clock, so the test
+    // advances a fake clock past a realistic TTL instead of
+    // shrinking the TTL and really sleeping.
+    FakeWallClock clock;
+    ScopedWallClock scoped(clock);
     ScratchDir dir("qc_lease_expire");
     const std::string path = dir.file("a.lease");
     LeaseInfo mine;
     mine.pid = static_cast<int>(::getpid());
     mine.nonce = Lease::makeNonce();
-    mine.ttlSeconds = 0.02;
+    mine.ttlSeconds = 30.0;
     ASSERT_TRUE(Lease::tryAcquire(path, mine));
-    std::this_thread::sleep_for(std::chrono::milliseconds(60));
     LeaseInfo stored;
     ASSERT_TRUE(Lease::read(path, stored));
+    EXPECT_FALSE(stored.expired(nowEpochMs()));
+    clock.advanceMs(29'999);
+    EXPECT_FALSE(stored.expired(nowEpochMs()));
+    clock.advanceMs(2);
     EXPECT_TRUE(stored.expired(nowEpochMs()));
     // Expired but the owner (this process) is alive: the dead-PID
     // fast path must NOT claim it is dead.
