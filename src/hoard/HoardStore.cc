@@ -1,0 +1,515 @@
+#include "hoard/HoardStore.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "common/Clock.hh"
+#include "common/DurableFile.hh"
+#include "hoard/HoardKey.hh"
+#include "serve/Lease.hh"
+#include "serve/Protocol.hh"
+#include "sweep/SweepPlan.hh"
+
+namespace qc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+hexDigest(const Json &result)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(result.hash()));
+    return buffer;
+}
+
+bool
+isObjectName(const std::string &name)
+{
+    // Publish temps (".json.tmp-<nonce>") and anything else a
+    // crash leaves behind must stay invisible to readers.
+    return name.size() > 5
+           && name.compare(name.size() - 5, 5, ".json") == 0;
+}
+
+/** Object files under objects/, sorted by path for determinism. */
+std::vector<std::string>
+objectFiles(const std::string &objectsDir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(objectsDir, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec)
+            && isObjectName(it->path().filename().string()))
+            paths.push_back(it->path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+/** Leftover publish temps (non-".json" regular files). */
+std::vector<std::string>
+tempFiles(const std::string &objectsDir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(objectsDir, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec)
+            && !isObjectName(it->path().filename().string()))
+            paths.push_back(it->path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+} // namespace
+
+HoardStore::HoardStore(std::string root, FaultInjector fault)
+    : root_(std::move(root)), fault_(std::move(fault)),
+      nonce_(Lease::makeNonce())
+{
+    fs::create_directories(root_ + "/objects");
+    fs::create_directories(root_ + "/quarantine");
+    const std::string marker = root_ + "/hoard.json";
+    if (fs::exists(marker)) {
+        const Json meta = Json::loadFile(marker);
+        const std::int64_t version =
+            meta.getInt("hoard_version", -1);
+        if (version != kStoreVersion) {
+            throw std::invalid_argument(
+                "hoard store " + root_ + " has hoard_version "
+                + std::to_string(version) + "; this build reads "
+                + std::to_string(kStoreVersion));
+        }
+        return;
+    }
+    Json meta = Json::object();
+    meta.set("hoard_version", kStoreVersion);
+    writeFileDurable(marker, meta.dump(2) + "\n",
+                     ".tmp-" + nonce_);
+}
+
+std::string
+HoardStore::keyFor(const std::string &runner, const Json &config)
+{
+    return hoardKeyHash(runner, config);
+}
+
+std::string
+HoardStore::objectPath(const std::string &key) const
+{
+    return root_ + "/objects/" + key.substr(0, 2) + "/" + key
+           + ".json";
+}
+
+bool
+HoardStore::validateObject(const Json &object,
+                           const std::string &key,
+                           std::string &why) const
+{
+    if (!object.isObject()) {
+        why = "not a JSON object";
+        return false;
+    }
+    if (object.getInt("store_version", -1) != kStoreVersion) {
+        why = "wrong store_version";
+        return false;
+    }
+    if (object.getString("key", "") != key) {
+        why = "key does not match object name";
+        return false;
+    }
+    if (!object.has("result") || !object.has("key_config")
+        || !object.has("runner")) {
+        why = "missing field";
+        return false;
+    }
+    const Json &result = object.at("result");
+    if (object.getString("digest", "") != hexDigest(result)) {
+        why = "digest mismatch";
+        return false;
+    }
+    if (result.isObject() && result.has("error")) {
+        why = "cached error result";
+        return false;
+    }
+    // The name must be the hash of the stored identity — catches
+    // an object renamed (or hand-copied) onto the wrong key.
+    if (hoardKeyHash(object.at("runner").asString(),
+                     object.at("key_config"))
+        != key) {
+        why = "key_config does not hash to the key";
+        return false;
+    }
+    return true;
+}
+
+void
+HoardStore::quarantineObject(const std::string &path)
+{
+    const std::string target = root_ + "/quarantine/"
+                               + fs::path(path).filename().string()
+                               + "." + nonce_;
+    std::error_code ec;
+    fs::rename(path, target, ec);
+    if (ec)
+        fs::remove(path, ec); // cross-device fallback: drop it
+    bumpQuarantined();
+}
+
+void
+HoardStore::bumpQuarantined()
+{
+    MutexLock lock(mutex_);
+    ++counters_.quarantined;
+}
+
+bool
+HoardStore::fetch(const std::string &runner, const Json &config,
+                  Json &result)
+{
+    const std::string key = hoardKeyHash(runner, config);
+    const std::string path = objectPath(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec) {
+        MutexLock lock(mutex_);
+        ++counters_.misses;
+        return false;
+    }
+    Json object;
+    std::string why;
+    bool valid = false;
+    try {
+        object = Json::loadFile(path);
+        valid = validateObject(object, key, why);
+        // The full-identity guard: a 64-bit collision between two
+        // distinct key configs must read as a miss, never a hit.
+        if (valid
+            && (object.getString("runner", "") != runner
+                || object.at("key_config")
+                       != hoardKeyConfig(runner, config))) {
+            valid = false;
+            why = "key_config mismatch";
+        }
+    } catch (const std::exception &e) {
+        valid = false;
+        why = e.what();
+    }
+    if (!valid) {
+        quarantineObject(path);
+        MutexLock lock(mutex_);
+        ++counters_.misses;
+        return false;
+    }
+    result = object.at("result");
+    MutexLock lock(mutex_);
+    ++counters_.hits;
+    return true;
+}
+
+bool
+HoardStore::store(const std::string &runner, const Json &config,
+                  const Json &result)
+{
+    // Error results always re-run (matching resume semantics); a
+    // transient failure must not poison the persistent store.
+    if (result.isObject() && result.has("error"))
+        return false;
+    const std::string key = hoardKeyHash(runner, config);
+    const std::string path = objectPath(key);
+    std::error_code ec;
+    if (fs::exists(path, ec) && !ec) {
+        // Idempotent duplicate publish: the existing object's
+        // content is identical by construction (same key → same
+        // key config → same deterministic result), so first wins.
+        MutexLock lock(mutex_);
+        ++counters_.duplicates;
+        return false;
+    }
+    Json object = Json::object();
+    object.set("digest", hexDigest(result));
+    object.set("key", key);
+    object.set("key_config", hoardKeyConfig(runner, config));
+    object.set("result", result);
+    object.set("runner", runner);
+    object.set("store_version", kStoreVersion);
+    object.set("stored_ms", wallClockEpochMs());
+    const std::string body = object.dump(2) + "\n";
+    fs::create_directories(fs::path(path).parent_path());
+    if (fault_.is("crash-before-hoard-publish")) {
+        // Model a crash with the temp durably on disk but never
+        // renamed: the object must stay invisible to every reader.
+        writeFileDurable(path + ".partial-" + nonce_, body,
+                         ".tmp-" + nonce_);
+        fault_.fire("crash-before-hoard-publish");
+    }
+    writeFileDurable(path, body, ".tmp-" + nonce_);
+    fault_.fire("crash-after-hoard-publish");
+    MutexLock lock(mutex_);
+    ++counters_.stores;
+    return true;
+}
+
+HoardCounters
+HoardStore::counters() const
+{
+    MutexLock lock(mutex_);
+    return counters_;
+}
+
+std::vector<HoardObjectInfo>
+HoardStore::list() const
+{
+    std::vector<HoardObjectInfo> infos;
+    for (const std::string &path : objectFiles(root_ + "/objects")) {
+        HoardObjectInfo info;
+        info.path = path;
+        info.key = fs::path(path).stem().string();
+        info.bytes = fileBytes(path);
+        try {
+            const Json object = Json::loadFile(path);
+            info.runner = object.getString("runner", "");
+            info.storedMs = object.getInt("stored_ms", 0);
+        } catch (const std::exception &) {
+            // Unreadable: storedMs 0 sorts it oldest, so gc evicts
+            // it first; verify() will quarantine it.
+        }
+        infos.push_back(std::move(info));
+    }
+    return infos;
+}
+
+void
+HoardStore::writeIndex(const std::vector<HoardObjectInfo> &infos)
+{
+    Json entries = Json::object();
+    for (const HoardObjectInfo &info : infos) {
+        Json entry = Json::object();
+        entry.set("bytes", info.bytes);
+        entry.set("runner", info.runner);
+        entry.set("stored_ms", info.storedMs);
+        entries.set(info.key, std::move(entry));
+    }
+    Json index = Json::object();
+    index.set("entries", std::move(entries));
+    index.set("hoard_version", kStoreVersion);
+    writeFileDurable(root_ + "/index.json", index.dump(2) + "\n",
+                     ".tmp-" + nonce_);
+}
+
+HoardVerifyReport
+HoardStore::verify()
+{
+    HoardVerifyReport report;
+    std::vector<HoardObjectInfo> survivors;
+    for (const std::string &path : objectFiles(root_ + "/objects")) {
+        ++report.objects;
+        const std::string key = fs::path(path).stem().string();
+        bool valid = false;
+        std::string why;
+        Json object;
+        try {
+            object = Json::loadFile(path);
+            valid = validateObject(object, key, why);
+        } catch (const std::exception &) {
+        }
+        if (!valid) {
+            quarantineObject(path);
+            ++report.quarantined;
+            continue;
+        }
+        ++report.ok;
+        HoardObjectInfo info;
+        info.key = key;
+        info.path = path;
+        info.bytes = fileBytes(path);
+        info.runner = object.getString("runner", "");
+        info.storedMs = object.getInt("stored_ms", 0);
+        survivors.push_back(std::move(info));
+    }
+    // Prune index entries whose object is gone (orphans from a
+    // crash between an eviction and its index rewrite).
+    const std::string indexPath = root_ + "/index.json";
+    std::error_code ec;
+    if (fs::exists(indexPath, ec) && !ec) {
+        try {
+            const Json index = Json::loadFile(indexPath);
+            if (index.has("entries")) {
+                for (const auto &[key, entry] :
+                     index.at("entries").items()) {
+                    (void)entry;
+                    const bool present = std::any_of(
+                        survivors.begin(), survivors.end(),
+                        [&](const HoardObjectInfo &info) {
+                            return info.key == key;
+                        });
+                    if (!present)
+                        ++report.orphanedIndexEntries;
+                }
+            }
+        } catch (const std::exception &) {
+            // Unparsable index: the rewrite below replaces it.
+        }
+    }
+    writeIndex(survivors);
+    return report;
+}
+
+HoardGcReport
+HoardStore::gc(std::uint64_t maxBytes, double maxAgeDays)
+{
+    HoardGcReport report;
+    for (const std::string &temp : tempFiles(root_ + "/objects")) {
+        std::error_code ec;
+        if (fs::remove(temp, ec) && !ec)
+            ++report.tempsRemoved;
+    }
+    std::vector<HoardObjectInfo> infos = list();
+    // Oldest publish first; key breaks ties deterministically.
+    std::sort(infos.begin(), infos.end(),
+              [](const HoardObjectInfo &a,
+                 const HoardObjectInfo &b) {
+                  return a.storedMs != b.storedMs
+                             ? a.storedMs < b.storedMs
+                             : a.key < b.key;
+              });
+    std::uint64_t totalBytes = 0;
+    for (const HoardObjectInfo &info : infos)
+        totalBytes += info.bytes;
+    const std::int64_t cutoffMs =
+        maxAgeDays > 0
+            ? wallClockEpochMs()
+                  - static_cast<std::int64_t>(maxAgeDays
+                                              * 86400.0 * 1000.0)
+            : 0;
+    std::vector<HoardObjectInfo> kept;
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const HoardObjectInfo &info = infos[i];
+        const bool tooOld = maxAgeDays > 0
+                            && info.storedMs < cutoffMs;
+        const bool overBudget = maxBytes > 0
+                                && totalBytes > maxBytes;
+        if (tooOld || overBudget) {
+            std::error_code ec;
+            fs::remove(info.path, ec);
+            ++report.evicted;
+            report.evictedBytes += info.bytes;
+            totalBytes -= info.bytes;
+            continue;
+        }
+        ++report.kept;
+        report.keptBytes += info.bytes;
+        kept.push_back(info);
+    }
+    writeIndex(kept);
+    return report;
+}
+
+std::size_t
+HoardStore::ingestServe(const std::string &serveDir)
+{
+    const ServeDir dir(serveDir);
+    const Json manifest = Json::loadFile(dir.manifest());
+    if (!manifest.has("spec")) {
+        throw std::invalid_argument(
+            "serve manifest " + dir.manifest()
+            + " carries no spec");
+    }
+    const SweepSpec spec = SweepSpec::fromJson(manifest.at("spec"));
+    const SweepPlan plan = SweepPlan::expand(spec);
+    std::size_t ingested = 0;
+    std::error_code ec;
+    std::vector<std::string> deltaPaths;
+    for (fs::directory_iterator it(dir.resultDir(), ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec))
+            deltaPaths.push_back(it->path().string());
+    }
+    std::sort(deltaPaths.begin(), deltaPaths.end());
+    for (const std::string &path : deltaPaths) {
+        ShardDelta delta;
+        try {
+            if (!ShardDelta::fromJson(Json::loadFile(path), delta))
+                continue; // malformed: same tolerance as merge
+        } catch (const std::exception &) {
+            continue; // torn commit: skip, never throw
+        }
+        for (const DeltaPoint &point : delta.points) {
+            if (point.failed
+                || point.index >= plan.points.size())
+                continue;
+            // The same skew guard the coordinator's merge applies:
+            // a delta from a different expansion must not publish.
+            if (point.configHash
+                != hexConfigHash(plan.hashes[point.index]))
+                continue;
+            if (store(spec.runner,
+                      plan.points[point.index].config,
+                      point.result))
+                ++ingested;
+        }
+    }
+    return ingested;
+}
+
+Json
+HoardStore::stat() const
+{
+    const std::vector<HoardObjectInfo> infos = list();
+    std::uint64_t totalBytes = 0;
+    Json runners = Json::object();
+    for (const HoardObjectInfo &info : infos) {
+        totalBytes += info.bytes;
+        const std::string name =
+            info.runner.empty() ? "(unreadable)" : info.runner;
+        runners.set(name, runners.getInt(name, 0) + 1);
+    }
+    std::size_t indexEntries = 0;
+    const std::string indexPath = root_ + "/index.json";
+    std::error_code ec;
+    if (fs::exists(indexPath, ec) && !ec) {
+        try {
+            const Json index = Json::loadFile(indexPath);
+            if (index.has("entries"))
+                indexEntries = index.at("entries").items().size();
+        } catch (const std::exception &) {
+        }
+    }
+    std::size_t quarantined = 0;
+    for (fs::directory_iterator it(root_ + "/quarantine", ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec))
+            ++quarantined;
+    }
+    Json out = Json::object();
+    out.set("bytes", totalBytes);
+    out.set("hoard_version", kStoreVersion);
+    out.set("index_entries",
+            static_cast<std::int64_t>(indexEntries));
+    out.set("objects", static_cast<std::int64_t>(infos.size()));
+    out.set("quarantined_files",
+            static_cast<std::int64_t>(quarantined));
+    out.set("runners", std::move(runners));
+    return out;
+}
+
+} // namespace qc

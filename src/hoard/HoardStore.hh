@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The hoard cache: a versioned on-disk content-addressed store of
+ * computed sweep results, in the spirit of OpenISR's parcelkeeper
+ * chunk store — every point computed in any session is stored once
+ * under its canonical config key and reused by any later sweep.
+ *
+ * Layout under the store root:
+ *
+ *     ROOT/hoard.json          {"hoard_version": 1}; written first,
+ *                              validated on every open
+ *     ROOT/objects/<hh>/<key>.json
+ *                              one immutable object per key
+ *                              (<hh> = first two hex digits);
+ *                              published with writeFileDurable, so
+ *                              a reader never sees a torn object
+ *     ROOT/index.json          advisory listing rebuilt by
+ *                              verify()/gc(); fetch/store never
+ *                              read it, so a stale or orphaned
+ *                              index can only mislead `hoard stat`,
+ *                              never a sweep
+ *     ROOT/quarantine/         objects that failed validation,
+ *                              moved aside (never deleted) for
+ *                              post-mortem
+ *
+ * Each object is a JSON document:
+ *
+ *     {
+ *       "digest": "<16-hex Json::hash of the result>",
+ *       "key": "<its own store key>",
+ *       "key_config": { ...hoardKeyConfig(runner, config)... },
+ *       "result": { ...runner metrics, verbatim... },
+ *       "runner": "<runner key>",
+ *       "store_version": 1,
+ *       "stored_ms": <wall-clock publish stamp, for eviction>
+ *     }
+ *
+ * Integrity model: fetch() re-derives the key from the request,
+ * validates store_version, runner, the digest over the result
+ * bytes, and the full key_config equality (so a 64-bit hash
+ * collision cannot serve a wrong result — the same guard the sweep
+ * memo uses). Anything invalid — torn, bit-flipped, wrong version,
+ * hand-edited — is moved to quarantine/ and reported as a miss, so
+ * the point transparently recomputes and the republished object
+ * heals the store.
+ *
+ * Concurrency model: publishes go through the same durable
+ * write-then-rename commit the serve workers use, with a
+ * process-unique temp suffix (Lease::makeNonce), so concurrent
+ * sweeps sharing a store never tear an object; duplicate publishes
+ * of the same key are idempotent (first one wins, the content is
+ * identical by construction). Scans only ever consider "*.json"
+ * names, so a crashed publish's leftover temp is invisible until
+ * gc() sweeps it.
+ */
+
+#ifndef QC_HOARD_HOARD_STORE_HH
+#define QC_HOARD_HOARD_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/Json.hh"
+#include "common/Mutex.hh"
+#include "serve/FaultInjector.hh"
+
+namespace qc {
+
+/** Session accounting (since this HoardStore was opened). */
+struct HoardCounters
+{
+    std::size_t hits = 0;        ///< fetches served from the store
+    std::size_t misses = 0;      ///< fetches that found nothing
+    std::size_t stores = 0;      ///< objects newly published
+    std::size_t duplicates = 0;  ///< publishes of an existing key
+    std::size_t quarantined = 0; ///< invalid objects moved aside
+};
+
+/** One stored object, as listed by list(). */
+struct HoardObjectInfo
+{
+    std::string key;       ///< 16-hex store key
+    std::string path;      ///< absolute object path
+    std::string runner;    ///< owning runner ("" if unreadable)
+    std::uint64_t bytes = 0;
+    std::int64_t storedMs = 0; ///< publish stamp (0 if unreadable)
+};
+
+/** Outcome of verify(). */
+struct HoardVerifyReport
+{
+    std::size_t objects = 0;     ///< object files scanned
+    std::size_t ok = 0;          ///< passed full validation
+    std::size_t quarantined = 0; ///< failed and moved aside
+    std::size_t orphanedIndexEntries = 0; ///< pruned from index
+};
+
+/** Outcome of gc(). */
+struct HoardGcReport
+{
+    std::size_t kept = 0;
+    std::size_t evicted = 0;
+    std::size_t tempsRemoved = 0; ///< leftover publish temps swept
+    std::uint64_t keptBytes = 0;
+    std::uint64_t evictedBytes = 0;
+};
+
+class HoardStore
+{
+  public:
+    /** Object format version stamped into every object. */
+    static constexpr std::int64_t kStoreVersion = 1;
+
+    /**
+     * Open (creating if needed) the store at `root`. Writes the
+     * version marker on first open; throws std::invalid_argument
+     * if an existing marker names a different version (a future
+     * format must not be silently misread as this one).
+     */
+    explicit HoardStore(std::string root,
+                        FaultInjector fault = FaultInjector());
+
+    const std::string &root() const { return root_; }
+
+    /** The store key a (runner, config) pair resolves to. */
+    static std::string keyFor(const std::string &runner,
+                              const Json &config);
+
+    /** Absolute object path for a key. */
+    std::string objectPath(const std::string &key) const;
+
+    /**
+     * Read-through lookup. On a valid hit, assigns the stored
+     * result and returns true. Invalid objects (torn, digest
+     * mismatch, wrong version/runner, key_config mismatch) are
+     * quarantined and reported as a miss. Thread-safe.
+     */
+    bool fetch(const std::string &runner, const Json &config,
+               Json &result);
+
+    /**
+     * Publish a computed result. Returns true if a new object was
+     * written; false for duplicates (idempotent — the existing
+     * object is left untouched) and for error results, which are
+     * never cached ({"error": ...} must always re-run, matching
+     * resume semantics). Thread-safe; safe against concurrent
+     * publishers of the same key.
+     */
+    bool store(const std::string &runner, const Json &config,
+               const Json &result);
+
+    /** Session counters (snapshot). Thread-safe. */
+    HoardCounters counters() const;
+
+    /** All stored objects, ordered by key. */
+    std::vector<HoardObjectInfo> list() const;
+
+    /**
+     * Full integrity scan: every object is re-validated
+     * (filename/key/digest/key_config/version) and failures are
+     * quarantined; the index is rebuilt, pruning entries whose
+     * object is gone. Not safe against concurrent writers of the
+     * index (fetch/store remain safe).
+     */
+    HoardVerifyReport verify();
+
+    /**
+     * Size/age eviction, oldest publish stamp first: drop objects
+     * older than `maxAgeDays` (0 = no age bound), then drop oldest
+     * until the store fits `maxBytes` (0 = no size bound). Also
+     * sweeps leftover publish temps and rebuilds the index.
+     * Unreadable objects sort oldest, so they evict first.
+     */
+    HoardGcReport gc(std::uint64_t maxBytes, double maxAgeDays);
+
+    /**
+     * Ingest leftover shard deltas from a `qcarch serve`
+     * coordination directory (deltas the coordinator crashed
+     * before merging): expands the manifest's spec, cross-checks
+     * each delta point's config_hash against the plan, and
+     * publishes every non-failed point. Returns the number of new
+     * objects. Throws std::invalid_argument if `serveDir` has no
+     * readable manifest; malformed/torn delta files and mismatched
+     * points are skipped (the same tolerance the coordinator's
+     * merge applies).
+     */
+    std::size_t ingestServe(const std::string &serveDir);
+
+    /** Store statistics as a JSON document (for `qcarch hoard
+     *  stat`): object/byte totals, per-runner counts, index and
+     *  quarantine state. */
+    Json stat() const;
+
+  private:
+    bool validateObject(const Json &object, const std::string &key,
+                        std::string &why) const;
+    void quarantineObject(const std::string &path);
+    void writeIndex(const std::vector<HoardObjectInfo> &infos);
+    void bumpQuarantined();
+
+    std::string root_;
+    FaultInjector fault_;
+    std::string nonce_; ///< process-unique temp suffix component
+
+    mutable Mutex mutex_;
+    HoardCounters counters_ QC_GUARDED_BY(mutex_);
+};
+
+} // namespace qc
+
+#endif // QC_HOARD_HOARD_STORE_HH

@@ -23,7 +23,10 @@ knownKind(const std::string &kind)
 {
     return kind == "crash-before-commit"
            || kind == "crash-after-commit" || kind == "torn-delta"
-           || kind == "stale-heartbeat" || needsParam(kind);
+           || kind == "stale-heartbeat"
+           || kind == "crash-before-hoard-publish"
+           || kind == "crash-after-hoard-publish"
+           || needsParam(kind);
 }
 
 } // namespace
@@ -32,7 +35,9 @@ const char *
 FaultInjector::validSpecs()
 {
     return "crash-before-commit, crash-after-commit, torn-delta, "
-           "stale-heartbeat, slow-worker=MS, crash-at-point=K";
+           "stale-heartbeat, crash-before-hoard-publish, "
+           "crash-after-hoard-publish, slow-worker=MS, "
+           "crash-at-point=K";
 }
 
 FaultInjector

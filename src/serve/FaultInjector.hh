@@ -24,6 +24,15 @@
  *   crash-at-point=K      sweep/serve: the process dies immediately
  *                         after the K-th point is finished (and,
  *                         with checkpointing on, checkpointed)
+ *   crash-before-hoard-publish
+ *                         hoard store: the object's bytes are
+ *                         durably on disk as a temp, the process
+ *                         dies before the rename publishes it (no
+ *                         reader may ever see the object)
+ *   crash-after-hoard-publish
+ *                         hoard store: the object is published,
+ *                         the process dies before committing the
+ *                         point to the sweep document
  *
  * Injected crashes exit with FaultInjector::kExitCode so harnesses
  * can verify the fault actually fired.

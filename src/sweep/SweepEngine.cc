@@ -8,6 +8,7 @@
 
 #include "common/DurableFile.hh"
 #include "common/Mutex.hh"
+#include "hoard/HoardStore.hh"
 #include "sweep/SweepPlan.hh"
 #include "sweep/WorkStealingPool.hh"
 
@@ -43,14 +44,45 @@ class PointSink
     }
 
     /** Lands one executed result: slot write, periodic checkpoint,
-     *  progress tick — atomically with respect to other commits. */
-    void commit(std::size_t index, Json result, bool failed)
-        QC_EXCLUDES(mutex_)
+     *  progress tick — atomically with respect to other commits.
+     *  `published` marks results newly written to the hoard. */
+    void commit(std::size_t index, Json result, bool failed,
+                bool published = false) QC_EXCLUDES(mutex_)
     {
         MutexLock lock(mutex_);
         assembler_->setResult(index, std::move(result), failed);
+        if (published)
+            ++hoardStored_;
         checkpoint(/*force=*/false);
-        tick(index, /*cached=*/false, /*resumed=*/false);
+        tick(index, /*cached=*/false, /*resumed=*/false,
+             /*hoarded=*/false);
+    }
+
+    /** Lands a result served from the hoard cache (read-through
+     *  hit): identical to commit() except for accounting and the
+     *  progress flag — the document cannot tell them apart. */
+    void commitHoarded(std::size_t index, Json result)
+        QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        assembler_->setResult(index, std::move(result),
+                              /*failed=*/false);
+        ++hoardHits_;
+        checkpoint(/*force=*/false);
+        tick(index, /*cached=*/false, /*resumed=*/false,
+             /*hoarded=*/true);
+    }
+
+    std::size_t hoardHits() const QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return hoardHits_;
+    }
+
+    std::size_t hoardStored() const QC_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return hoardStored_;
     }
 
     /** The end-of-run checkpoint: leaves the file equal to the
@@ -67,7 +99,7 @@ class PointSink
         QC_EXCLUDES(mutex_)
     {
         MutexLock lock(mutex_);
-        tick(index, cached, resumed);
+        tick(index, cached, resumed, /*hoarded=*/false);
     }
 
   private:
@@ -99,8 +131,8 @@ class PointSink
         }
     }
 
-    void tick(std::size_t index, bool cached, bool resumed)
-        QC_REQUIRES(mutex_)
+    void tick(std::size_t index, bool cached, bool resumed,
+              bool hoarded) QC_REQUIRES(mutex_)
     {
         if (!options_.progress)
             return;
@@ -110,6 +142,7 @@ class PointSink
         progress.point = &plan_.points[index];
         progress.cached = cached;
         progress.resumed = resumed;
+        progress.hoarded = hoarded;
         options_.progress(progress);
     }
 
@@ -120,6 +153,8 @@ class PointSink
     const std::string checkpointPath_;
     SteadyClock::time_point lastCheckpoint_ QC_GUARDED_BY(mutex_);
     std::size_t done_ QC_GUARDED_BY(mutex_) = 0;
+    std::size_t hoardHits_ QC_GUARDED_BY(mutex_) = 0;
+    std::size_t hoardStored_ QC_GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -175,6 +210,19 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
         toRun.size(),
         [&](std::size_t task) {
             const std::size_t index = toRun[task];
+            // Read-through: a valid hoard object replaces the
+            // computation outright. The stored result is the
+            // runner's own metrics JSON, so the document is
+            // byte-identical either way.
+            if (options.hoard) {
+                Json stored;
+                if (options.hoard->fetch(
+                        spec.runner, plan.points[index].config,
+                        stored)) {
+                    sink.commitHoarded(index, std::move(stored));
+                    return;
+                }
+            }
             Json result;
             bool failed = false;
             try {
@@ -185,7 +233,17 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
                 result.set("error", e.what());
                 failed = true;
             }
-            sink.commit(index, std::move(result), failed);
+            // Write-behind: publish before the commit tick so the
+            // crash-at-point fault (which fires inside the tick)
+            // proves "ticked ⇒ both checkpointed and hoarded".
+            bool published = false;
+            if (options.hoard && !failed) {
+                published = options.hoard->store(
+                    spec.runner, plan.points[index].config,
+                    result);
+            }
+            sink.commit(index, std::move(result), failed,
+                        published);
         },
         options.stopRequested);
     // Leave the checkpoint file equal to the final document, so a
@@ -207,6 +265,9 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
             sink.replayTick(i, /*cached=*/false, /*resumed=*/true);
     }
     report.failed = assembler.failedPoints();
+    report.hoardHits = sink.hoardHits();
+    report.hoardStored = sink.hoardStored();
+    report.executed -= report.hoardHits;
 
     report.doc = assembler.document();
     report.wallSeconds =

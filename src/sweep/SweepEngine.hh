@@ -37,6 +37,8 @@
 
 namespace qc {
 
+class HoardStore;
+
 /** One progress tick, delivered serially (under the engine lock). */
 struct SweepProgress
 {
@@ -46,6 +48,7 @@ struct SweepProgress
     const SweepPoint *point = nullptr;
     bool cached = false;   ///< satisfied from the memo cache
     bool resumed = false;  ///< satisfied from the resume document
+    bool hoarded = false;  ///< satisfied from the hoard cache
 };
 
 /** Execution knobs; the spec itself stays machine-independent. */
@@ -101,6 +104,18 @@ struct SweepOptions
      * here. May be empty.
      */
     std::function<bool()> stopRequested;
+
+    /**
+     * Optional persistent result cache (`qcarch sweep --hoard`,
+     * docs/HOARD.md). When set, each unique point is first looked
+     * up in the store (read-through, from the pool workers) and
+     * each newly computed non-error result is published back
+     * (write-behind). Hits are byte-identical to cold computation
+     * by construction — the stored object is the runner's own
+     * metrics JSON — so the document never depends on the cache
+     * state. Not owned; must outlive runSweep. Thread-safe.
+     */
+    HoardStore *hoard = nullptr;
 };
 
 /** Outcome of one sweep run. */
@@ -111,8 +126,13 @@ struct SweepReport
     std::size_t cacheHits = 0;  ///< points served from the memo
     std::size_t cacheMisses = 0;///< unique points (memo misses)
     std::size_t resumed = 0;    ///< unique points from the resume doc
-    std::size_t executed = 0;   ///< unique points actually run
+    /** Unique points actually run (hoard hits excluded). */
+    std::size_t executed = 0;
     std::size_t failed = 0;     ///< points that threw (see "error")
+    /** Unique points served from the hoard cache. */
+    std::size_t hoardHits = 0;
+    /** Newly computed points published to the hoard cache. */
+    std::size_t hoardStored = 0;
     /** Unique points left undone by a stopRequested drain; the doc
      *  holds "interrupted" stubs for them (0 = ran to completion). */
     std::size_t interrupted = 0;

@@ -1,0 +1,8 @@
+// qclint-fixture: path=src/hoard/HoardKey.cc
+// qclint-fixture: expect=raw-io:8
+#include <fstream>
+
+// Only HoardStore.cc is whitelisted: any other hoard file writing
+// raw streams would bypass the durable publish pattern, so the
+// raw-io rule must fire here.
+void leak(const char *path) { std::ofstream out(path); }

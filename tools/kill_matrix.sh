@@ -189,6 +189,49 @@ cmp "$WORK/golden.json" "$out" \
     || fail "drain: document differs from single-shot"
 assert_clean_log "$dir/serve/log"
 
+# ----------------------------------------------------------------
+# Hoard publish crashes (docs/HOARD.md): a sweep killed around the
+# store's commit rename must never leave a readable-but-wrong
+# object. Before the rename: no object may be visible (only an
+# ignored temp). After it: exactly the published objects, all
+# valid. Either way `hoard verify` must find nothing to quarantine
+# and the recovery sweep must be byte-identical to single-shot.
+# ----------------------------------------------------------------
+for fault in crash-before-hoard-publish crash-after-hoard-publish; do
+    echo "== hoard fault: $fault"
+    dir=$WORK/hoard-$fault
+    mkdir -p "$dir"
+    QCARCH_FAULT=$fault timeout 120 "$QCARCH" sweep "$SPEC" \
+        --hoard "$dir/store" --threads 1 --quiet \
+        --out "$dir/out.json"
+    rc=$?
+    [ "$rc" -eq "$FAULT_EXIT" ] \
+        || fail "$fault sweep exited $rc, wanted $FAULT_EXIT"
+    "$QCARCH" hoard verify "$dir/store" 2> "$dir/verify.log" \
+        || fail "$fault: killed run left an invalid object:" \
+                "$(cat "$dir/verify.log")"
+    timeout 120 "$QCARCH" sweep "$SPEC" --hoard "$dir/store" \
+        --threads 2 --quiet --out "$dir/out.json" \
+        || fail "$fault: recovery sweep failed"
+    cmp "$WORK/golden.json" "$dir/out.json" \
+        || fail "$fault: document differs from single-shot"
+done
+# The pre-rename crash must have published nothing: its first
+# recovery point cannot be a hoard hit.
+objects=$(find "$WORK/hoard-crash-before-hoard-publish/store/objects" \
+    -name '*.json' | wc -l)
+[ "$objects" -eq 4 ] \
+    || fail "crash-before: expected 4 objects after recovery, got $objects"
+# The post-rename crash published exactly one object, which the
+# recovery run must have reused (never recomputed): gc sweeping the
+# leftover temp from the pre-rename leg proves the temp was real.
+temps=$("$QCARCH" hoard gc \
+    "$WORK/hoard-crash-before-hoard-publish/store" 2>&1 \
+    | grep -o 'swept [0-9]* temp' | grep -o '[0-9]*')
+[ "$temps" -eq 1 ] \
+    || fail "crash-before: expected 1 leftover publish temp, got $temps"
+
 echo "kill_matrix: all legs passed (documents byte-identical to" \
      "single-shot; expired lease reclaimed exactly once; no" \
-     "committed point re-executed)"
+     "committed point re-executed; no killed hoard publish left" \
+     "a readable-but-wrong object)"

@@ -10,6 +10,7 @@
  *
  *   qcarch sweep <spec.json> [--threads N] [--out PATH] [--quiet]
  *                [--resume PREV.json] [--checkpoint-seconds S]
+ *                [--hoard DIR]
  *       Expand and execute a SweepSpec on the parallel sweep
  *       engine; writes the aggregated document (stdout, or --out).
  *       Output is bit-identical for a given spec regardless of
@@ -22,8 +23,13 @@
  *       (config_hash is cross-checked), so an interrupted Table
  *       5-8-scale grid restarts incrementally — the merged
  *       document is still byte-identical to a fresh single-shot
- *       run. SIGINT/SIGTERM drain the pool, write a final
- *       checkpoint, and exit 3.
+ *       run. --hoard DIR (or the QCARCH_HOARD environment
+ *       variable) opens the persistent result cache at DIR as a
+ *       read-through/write-behind layer: points already in the
+ *       store are served from it, newly computed points are
+ *       published to it, and the output stays byte-identical
+ *       either way (docs/HOARD.md). SIGINT/SIGTERM drain the pool,
+ *       write a final checkpoint, and exit 3.
  *
  *   qcarch serve <spec.json> --out PATH [--dir DIR]
  *                [--workers-expected N] [--lease-seconds S]
@@ -42,6 +48,20 @@
  *       Join a coordination directory and compute shards until the
  *       coordinator marks it done.
  *
+ *   qcarch hoard warm <spec.json> [--hoard DIR] [--threads N]
+ *                [--quiet]
+ *       Prefetch a planned grid into the hoard cache: compute (and
+ *       publish) every point of the spec that is not already
+ *       stored, writing no output document.
+ *
+ *   qcarch hoard stat|verify DIR
+ *   qcarch hoard gc DIR [--max-bytes N] [--max-age-days D]
+ *   qcarch hoard ingest DIR --serve SERVEDIR
+ *       Inspect, integrity-scan, evict from, or ingest leftover
+ *       `qcarch serve` shard deltas into a hoard store. `verify`
+ *       quarantines every invalid object and exits 1 if it found
+ *       any.
+ *
  *   qcarch list workloads|archs|runners
  *   qcarch list fields [runner]
  *       Discover the registries a config/spec may name.
@@ -56,13 +76,16 @@
  */
 
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "api/Qc.hh"
+#include "hoard/Hoard.hh"
 #include "serve/Serve.hh"
 #include "sweep/Sweep.hh"
 
@@ -101,7 +124,7 @@ usage(std::ostream &out, int code)
            "  qcarch sweep <spec.json> [--threads N] [--out PATH]"
            " [--quiet]\n"
            "               [--resume PREV.json]"
-           " [--checkpoint-seconds S]\n"
+           " [--checkpoint-seconds S] [--hoard DIR]\n"
            "  qcarch serve <spec.json> --out PATH [--dir DIR]"
            " [--workers-expected N]\n"
            "               [--lease-seconds S] [--shard-points K]"
@@ -110,6 +133,12 @@ usage(std::ostream &out, int code)
            "  qcarch work --coordinator DIR [--poll-ms MS]"
            " [--backoff-max-ms MS]\n"
            "               [--max-idle-seconds S] [--quiet]\n"
+           "  qcarch hoard warm <spec.json> [--hoard DIR]"
+           " [--threads N] [--quiet]\n"
+           "  qcarch hoard stat|verify DIR\n"
+           "  qcarch hoard gc DIR [--max-bytes N]"
+           " [--max-age-days D]\n"
+           "  qcarch hoard ingest DIR --serve SERVEDIR\n"
            "  qcarch list workloads|archs|runners\n"
            "  qcarch list fields [runner]\n"
            "\n"
@@ -159,6 +188,17 @@ takeFault(std::vector<std::string> &args)
     return FaultInjector::fromEnv();
 }
 
+/** --hoard DIR wins over QCARCH_HOARD; empty = no hoard. */
+std::string
+takeHoardDir(std::vector<std::string> &args)
+{
+    const std::string dir = takeOption(args, "--hoard");
+    if (!dir.empty())
+        return dir;
+    const char *env = std::getenv("QCARCH_HOARD");
+    return env ? env : "";
+}
+
 void
 emit(const Json &doc, const std::string &out)
 {
@@ -187,6 +227,7 @@ cmdSweep(std::vector<std::string> args)
     const std::string resumePath = takeOption(args, "--resume");
     const std::string checkpointSeconds =
         takeOption(args, "--checkpoint-seconds");
+    const std::string hoardDir = takeHoardDir(args);
     const FaultInjector fault = takeFault(args);
     const bool quiet = takeFlag(args, "--quiet");
     if (args.size() != 1)
@@ -194,6 +235,11 @@ cmdSweep(std::vector<std::string> args)
 
     const SweepSpec spec = SweepSpec::load(args[0]);
     SweepOptions options;
+    std::optional<HoardStore> hoard;
+    if (!hoardDir.empty()) {
+        hoard.emplace(hoardDir, fault);
+        options.hoard = &*hoard;
+    }
     if (!threads.empty())
         options.threads = std::stoi(threads);
     // With --out, checkpoint to the output path during the run: a
@@ -225,7 +271,7 @@ cmdSweep(std::vector<std::string> args)
     // small enough.
     std::size_t executedSoFar = 0;
     options.progress = [&](const SweepProgress &p) {
-        if (!p.cached && !p.resumed) {
+        if (!p.cached && !p.resumed && !p.hoarded) {
             ++executedSoFar;
             fault.fireAtPoint(executedSoFar);
         }
@@ -236,7 +282,9 @@ cmdSweep(std::vector<std::string> args)
         std::cerr << "\r[" << p.done << "/" << p.total << "] "
                   << p.point->assignment.dump(0)
                   << (p.cached ? " (cached)"
-                               : p.resumed ? " (resumed)" : "")
+                      : p.resumed ? " (resumed)"
+                      : p.hoarded ? " (hoard)"
+                                  : "")
                   << "\x1b[K" << (p.done == p.total ? "\n" : "")
                   << std::flush;
     };
@@ -251,6 +299,11 @@ cmdSweep(std::vector<std::string> args)
                   << report.cacheHits << " cached, "
                   << report.failed << " failed) in "
                   << report.wallSeconds << " s\n";
+        if (hoard) {
+            std::cerr << "hoard: " << report.hoardHits
+                      << " hit(s), " << report.hoardStored
+                      << " stored (" << hoardDir << ")\n";
+        }
         if (report.interrupted > 0) {
             std::cerr << "interrupted: " << report.interrupted
                       << " points pending; resume with --resume "
@@ -346,6 +399,95 @@ cmdWork(std::vector<std::string> args)
 }
 
 int
+cmdHoard(std::vector<std::string> args)
+{
+    if (args.empty())
+        return usage(std::cerr, 2);
+    const std::string what = args[0];
+    args.erase(args.begin());
+
+    if (what == "warm") {
+        // A sweep that writes no document: its entire effect is
+        // the store publishes (and the accounting line).
+        const std::string threads = takeOption(args, "--threads");
+        const std::string hoardDir = takeHoardDir(args);
+        const FaultInjector fault = takeFault(args);
+        const bool quiet = takeFlag(args, "--quiet");
+        if (args.size() != 1 || hoardDir.empty())
+            return usage(std::cerr, 2);
+        const SweepSpec spec = SweepSpec::load(args[0]);
+        HoardStore hoard(hoardDir, fault);
+        SweepOptions options;
+        options.hoard = &hoard;
+        if (!threads.empty())
+            options.threads = std::stoi(threads);
+        options.stopRequested = stopRequested;
+        installStopHandlers();
+        const SweepReport report = runSweep(spec, options);
+        if (!quiet) {
+            std::cerr << "hoard: " << report.hoardHits
+                      << " hit(s), " << report.hoardStored
+                      << " stored (" << hoardDir << ")\n";
+        }
+        if (report.interrupted > 0)
+            return kInterruptedExit;
+        return report.failed == 0 ? 0 : 1;
+    }
+
+    if (what == "ingest") {
+        const std::string serveDir = takeOption(args, "--serve");
+        if (args.size() != 1 || serveDir.empty())
+            return usage(std::cerr, 2);
+        HoardStore hoard(args[0]);
+        const std::size_t ingested = hoard.ingestServe(serveDir);
+        std::cerr << "hoard: ingested " << ingested
+                  << " point(s) from " << serveDir << "\n";
+        return 0;
+    }
+
+    if (what == "gc") {
+        const std::string maxBytes =
+            takeOption(args, "--max-bytes");
+        const std::string maxAgeDays =
+            takeOption(args, "--max-age-days");
+        if (args.size() != 1)
+            return usage(std::cerr, 2);
+        HoardStore hoard(args[0]);
+        const HoardGcReport report = hoard.gc(
+            maxBytes.empty() ? 0 : std::stoull(maxBytes),
+            maxAgeDays.empty() ? 0.0 : std::stod(maxAgeDays));
+        std::cerr << "hoard: kept " << report.kept << " ("
+                  << report.keptBytes << " bytes), evicted "
+                  << report.evicted << " (" << report.evictedBytes
+                  << " bytes), swept " << report.tempsRemoved
+                  << " temp(s)\n";
+        return 0;
+    }
+
+    if (args.size() != 1)
+        return usage(std::cerr, 2);
+
+    if (what == "stat") {
+        HoardStore hoard(args[0]);
+        std::cout << hoard.stat().dump() << "\n";
+        return 0;
+    }
+    if (what == "verify") {
+        HoardStore hoard(args[0]);
+        const HoardVerifyReport report = hoard.verify();
+        std::cerr << "hoard: " << report.objects
+                  << " object(s), " << report.ok << " ok, "
+                  << report.quarantined << " quarantined, "
+                  << report.orphanedIndexEntries
+                  << " orphaned index entr"
+                  << (report.orphanedIndexEntries == 1 ? "y" : "ies")
+                  << " pruned\n";
+        return report.quarantined == 0 ? 0 : 1;
+    }
+    return usage(std::cerr, 2);
+}
+
+int
 cmdList(std::vector<std::string> args)
 {
     if (args.empty())
@@ -405,6 +547,8 @@ main(int argc, char **argv)
             return cmdServe(std::move(args));
         if (command == "work")
             return cmdWork(std::move(args));
+        if (command == "hoard")
+            return cmdHoard(std::move(args));
         if (command == "list")
             return cmdList(std::move(args));
         if (command == "--help" || command == "help")

@@ -26,12 +26,15 @@ Rules (each waivable, see below):
                 breaks byte-identity. Iterate a sorted view or use
                 qc::Json's insertion-ordered objects instead.
 
-  raw-io        ofstream / fopen / rename / open() in src/sweep or
-                src/serve outside DurableFile and the lease
-                protocol (src/serve/Lease.cc). Checkpoint, delta
-                and lease files must be written through
-                writeFileDurable / Lease so a kill cannot leave a
-                torn file.
+  raw-io        ofstream / fopen / rename / open() in src/sweep,
+                src/serve or src/hoard outside DurableFile, the
+                lease protocol (src/serve/Lease.cc) and the hoard
+                commit path (src/hoard/HoardStore.cc, whose
+                renames are the quarantine moves the durable
+                publish pattern requires). Checkpoint, delta,
+                lease and hoard-object files must be written
+                through writeFileDurable / Lease so a kill cannot
+                leave a torn file.
 
   raw-exit      _exit/_Exit outside src/serve/FaultInjector.cc.
                 Process death is the fault injector's job; anywhere
@@ -132,11 +135,11 @@ RULES = [
         "raw-io",
         r"(?:\bofstream\b|\bfopen\s*\(|\brename\s*\(|\bopen\s*\(\s*\w"
         r"|\bcreat\s*\()",
-        ["src/sweep/", "src/serve/"],
-        ["src/serve/Lease.cc"],
-        "checkpoint/delta/lease files must go through "
-        "writeFileDurable or the Lease protocol so a crash cannot "
-        "leave a torn file",
+        ["src/sweep/", "src/serve/", "src/hoard/"],
+        ["src/serve/Lease.cc", "src/hoard/HoardStore.cc"],
+        "checkpoint/delta/lease/hoard-object files must go through "
+        "writeFileDurable, the Lease protocol or the hoard commit "
+        "path so a crash cannot leave a torn file",
     ),
     Rule(
         "raw-exit",
