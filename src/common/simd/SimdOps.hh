@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Word-width abstraction for the bit-packed Monte Carlo engines.
+ *
+ * The batch Pauli-frame algebra is pure XOR/AND/NOT over arrays of
+ * 64-bit words, so widening it to 128/256/512 bits is a matter of
+ * processing kLanes words per step with the same operators. Each Ops
+ * type below packages a vector value type `V` (kLanes x uint64),
+ * unaligned load/store, and the bitwise operators the engine needs.
+ *
+ * Two families:
+ *  - VecOps<N>: GCC/Clang vector extensions (`vector_size`). The
+ *    compiler lowers the generic operators to whatever the TU's
+ *    target flags allow (SSE2/AVX2/AVX-512), so no intrinsics
+ *    headers are needed and the same source builds on any GNU-ish
+ *    compiler and architecture.
+ *  - ScalarOps<N>: a plain struct-of-words fallback with identical
+ *    semantics, for compilers without vector extensions and for the
+ *    forced-fallback CI leg that proves results do not depend on the
+ *    vector path.
+ *
+ * WordOps is the 1-lane reference (plain uint64_t), i.e. exactly the
+ * pre-SIMD engine. Bit-identity across all of these is guaranteed by
+ * construction: the engine keeps every RNG-consuming loop ordered
+ * per 64-bit word and only blocks pure-bitwise loops by kLanes.
+ */
+
+#ifndef QC_COMMON_SIMD_SIMDOPS_HH
+#define QC_COMMON_SIMD_SIMDOPS_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace qc::simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define QC_SIMD_HAVE_VECTOR_EXT 1
+#else
+#define QC_SIMD_HAVE_VECTOR_EXT 0
+#endif
+
+/** 1-lane reference ops: plain uint64_t, the original 64-bit path. */
+struct WordOps
+{
+    static constexpr int kLanes = 1;
+    using V = std::uint64_t;
+
+    static V
+    load(const std::uint64_t *p)
+    {
+        return *p;
+    }
+
+    static void
+    store(std::uint64_t *p, V v)
+    {
+        *p = v;
+    }
+
+    static V
+    zero()
+    {
+        return 0;
+    }
+};
+
+/**
+ * Portable fallback: kLanes words advanced per step with ordinary
+ * scalar code. Same blocking as the vector path, no vector types.
+ */
+template <int N>
+struct ScalarOps
+{
+    static constexpr int kLanes = N;
+
+    struct V
+    {
+        std::uint64_t lane[N];
+
+        friend V
+        operator^(V a, V b)
+        {
+            V r;
+            for (int i = 0; i < N; ++i)
+                r.lane[i] = a.lane[i] ^ b.lane[i];
+            return r;
+        }
+
+        friend V
+        operator&(V a, V b)
+        {
+            V r;
+            for (int i = 0; i < N; ++i)
+                r.lane[i] = a.lane[i] & b.lane[i];
+            return r;
+        }
+
+        friend V
+        operator|(V a, V b)
+        {
+            V r;
+            for (int i = 0; i < N; ++i)
+                r.lane[i] = a.lane[i] | b.lane[i];
+            return r;
+        }
+
+        friend V
+        operator~(V a)
+        {
+            V r;
+            for (int i = 0; i < N; ++i)
+                r.lane[i] = ~a.lane[i];
+            return r;
+        }
+    };
+
+    static V
+    load(const std::uint64_t *p)
+    {
+        V v;
+        std::memcpy(v.lane, p, sizeof(v.lane));
+        return v;
+    }
+
+    static void
+    store(std::uint64_t *p, V v)
+    {
+        std::memcpy(p, v.lane, sizeof(v.lane));
+    }
+
+    static V
+    zero()
+    {
+        V v{};
+        return v;
+    }
+};
+
+#if QC_SIMD_HAVE_VECTOR_EXT
+
+/**
+ * Vector-extension ops: N x uint64 processed per step. The TU's
+ * target flags decide the instruction selection (-mavx2 lowers
+ * VecOps<4> to 256-bit ymm ops; without it the compiler splits into
+ * 128-bit halves — still correct, just narrower).
+ */
+template <int N>
+struct VecOps
+{
+    static constexpr int kLanes = N;
+
+    typedef std::uint64_t V
+        __attribute__((vector_size(8 * N), aligned(8)));
+
+    static V
+    load(const std::uint64_t *p)
+    {
+        V v;
+        std::memcpy(&v, p, sizeof(V));
+        return v;
+    }
+
+    static void
+    store(std::uint64_t *p, V v)
+    {
+        std::memcpy(p, &v, sizeof(V));
+    }
+
+    static V
+    zero()
+    {
+        return V{};
+    }
+};
+
+#else
+
+template <int N>
+using VecOps = ScalarOps<N>;
+
+#endif
+
+} // namespace qc::simd
+
+#endif // QC_COMMON_SIMD_SIMDOPS_HH

@@ -72,36 +72,62 @@ AncillaPrepSimulator::AncillaPrepSimulator(ErrorParams errors,
 {
 }
 
+// Every stochastic fault site funnels through siteFault so an
+// installed FaultOracle can own the fire decision (stratified
+// importance sampling). Without an oracle the natural Bernoulli
+// draw below consumes exactly the pre-seam RNG stream.
+bool
+AncillaPrepSimulator::siteFault(FaultClass cls, double p)
+{
+    if (oracle_ != nullptr)
+        return oracle_->fault(rng_, cls, p);
+    return rng_.bernoulli(p);
+}
+
+void
+AncillaPrepSimulator::inject1(FaultClass cls, double p, int q)
+{
+    if (siteFault(cls, p))
+        frame_.applyUniform1(rng_, q);
+}
+
+void
+AncillaPrepSimulator::inject2(FaultClass cls, double p, int a, int b)
+{
+    if (siteFault(cls, p))
+        frame_.applyUniform2(rng_, a, b);
+}
+
 void
 AncillaPrepSimulator::chargeCxMovement(int a, int b)
 {
     for (int i = 0; i < movement_.movesPerCx; ++i)
-        frame_.inject1q(rng_, errors_.pMove, (i & 1) ? b : a);
+        inject1(FaultClass::Move, errors_.pMove, (i & 1) ? b : a);
     for (int i = 0; i < movement_.turnsPerCx; ++i)
-        frame_.inject1q(rng_, errors_.pMove, (i & 1) ? b : a);
+        inject1(FaultClass::Move, errors_.pMove, (i & 1) ? b : a);
 }
 
 void
 AncillaPrepSimulator::chargeMeasMovement(int q)
 {
     for (int i = 0; i < movement_.movesPerMeas; ++i)
-        frame_.inject1q(rng_, errors_.pMove, q);
+        inject1(FaultClass::Move, errors_.pMove, q);
 }
 
 void
 AncillaPrepSimulator::gateH(int q)
 {
     for (int i = 0; i < movement_.movesPer1q; ++i)
-        frame_.inject1q(rng_, errors_.pMove, q);
+        inject1(FaultClass::Move, errors_.pMove, q);
     frame_.applyH(q);
-    frame_.inject1q(rng_, errors_.pGate, q);
+    inject1(FaultClass::Gate, errors_.pGate, q);
 }
 
 void
 AncillaPrepSimulator::gatePrep(int q)
 {
     frame_.clearRange(q, 1);
-    frame_.inject1q(rng_, errors_.pGate, q);
+    inject1(FaultClass::Gate, errors_.pGate, q);
 }
 
 void
@@ -109,14 +135,15 @@ AncillaPrepSimulator::gateCx(int control, int target)
 {
     chargeCxMovement(control, target);
     frame_.applyCx(control, target);
-    frame_.inject2q(rng_, errors_.pGate, control, target);
+    inject2(FaultClass::Gate, errors_.pGate, control, target);
 }
 
 bool
 AncillaPrepSimulator::measureZFlip(int q)
 {
     chargeMeasMovement(q);
-    const bool flip = frame_.hasX(q) ^ rng_.bernoulli(errors_.pGate);
+    const bool flip =
+        frame_.hasX(q) ^ siteFault(FaultClass::Gate, errors_.pGate);
     frame_.clearRange(q, 1); // qubit leaves the computation
     return flip;
 }
@@ -125,7 +152,8 @@ bool
 AncillaPrepSimulator::measureXFlip(int q)
 {
     chargeMeasMovement(q);
-    const bool flip = frame_.hasZ(q) ^ rng_.bernoulli(errors_.pGate);
+    const bool flip =
+        frame_.hasZ(q) ^ siteFault(FaultClass::Gate, errors_.pGate);
     frame_.clearRange(q, 1);
     return flip;
 }
@@ -161,7 +189,7 @@ AncillaPrepSimulator::verifyBlock(int base)
         if (SteaneCode::verifyMask & (SteaneCode::Mask{1} << q)) {
             chargeCxMovement(base + q, cat);
             frame_.applyCz(base + q, cat);
-            frame_.inject2q(rng_, errors_.pGate, base + q, cat);
+            inject2(FaultClass::Gate, errors_.pGate, base + q, cat);
             ++cat;
         }
     }
@@ -214,7 +242,7 @@ AncillaPrepSimulator::bitCorrect(int base_a, int base_b)
         for (int q = 0; q < SteaneCode::numPhysical; ++q) {
             if (fix & (SteaneCode::Mask{1} << q)) {
                 frame_.flipX(base_a + q);
-                frame_.inject1q(rng_, errors_.pGate, base_a + q);
+                inject1(FaultClass::Gate, errors_.pGate, base_a + q);
             }
         }
         return true;
@@ -250,7 +278,7 @@ AncillaPrepSimulator::phaseCorrect(int base_a, int base_c)
         for (int q = 0; q < SteaneCode::numPhysical; ++q) {
             if (fix & (SteaneCode::Mask{1} << q)) {
                 frame_.flipZ(base_a + q);
-                frame_.inject1q(rng_, errors_.pGate, base_a + q);
+                inject1(FaultClass::Gate, errors_.pGate, base_a + q);
             }
         }
         return true;
@@ -291,7 +319,7 @@ AncillaPrepSimulator::phaseCorrectConfirmed(int base_a, int base_c)
             for (int q = 0; q < SteaneCode::numPhysical; ++q) {
                 if (fix & (SteaneCode::Mask{1} << q)) {
                     frame_.flipZ(base_a + q);
-                    frame_.inject1q(rng_, errors_.pGate, base_a + q);
+                    inject1(FaultClass::Gate, errors_.pGate, base_a + q);
                 }
             }
             return;
@@ -431,11 +459,11 @@ AncillaPrepSimulator::simulatePi8Once()
     for (int i = 0; i < 7; ++i) {
         chargeCxMovement(cat7 + i, blockA + i);
         frame_.applyCz(cat7 + i, blockA + i);
-        frame_.inject2q(rng_, errors_.pGate, cat7 + i, blockA + i);
+        inject2(FaultClass::Gate, errors_.pGate, cat7 + i, blockA + i);
     }
     for (int i = 0; i < 7; ++i) {
         frame_.applyS(blockA + i);
-        frame_.inject1q(rng_, errors_.pGate, blockA + i);
+        inject1(FaultClass::Gate, errors_.pGate, blockA + i);
     }
 
     // Decode the cat block (reverse chain + H) and measure it.
@@ -450,9 +478,11 @@ AncillaPrepSimulator::simulatePi8Once()
     // Conditional transversal Z fix-up: applied for half of the
     // measurement outcomes; the intended gate leaves the frame
     // untouched but contributes gate errors.
-    if (rng_.bernoulli(0.5)) {
+    const bool fixup = oracle_ != nullptr ? oracle_->coin(rng_)
+                                          : rng_.bernoulli(0.5);
+    if (fixup) {
         for (int i = 0; i < 7; ++i)
-            frame_.inject1q(rng_, errors_.pGate, blockA + i);
+            inject1(FaultClass::Gate, errors_.pGate, blockA + i);
     }
 
     PrepOutcome out = classify(blockA);

@@ -22,6 +22,7 @@
 #include "common/Params.hh"
 #include "common/Rng.hh"
 #include "common/Stats.hh"
+#include "error/FaultOracle.hh"
 #include "error/PauliFrame.hh"
 
 namespace qc {
@@ -160,6 +161,14 @@ class AncillaPrepSimulator
     /** Scalar reference version of estimatePi8(). */
     PrepEstimate estimateScalarPi8(std::uint64_t trials);
 
+    /**
+     * Install a fault oracle owning every site's fire/no-fire
+     * decision (non-owning pointer; nullptr restores the natural
+     * Bernoulli draws, whose RNG stream is identical to the
+     * pre-oracle engine). Used by the stratified importance sampler.
+     */
+    void setFaultOracle(FaultOracle *oracle) { oracle_ = oracle; }
+
   private:
     /** Run the Fig 3b basic encode on block at base offset. */
     void basicEncode(int base);
@@ -205,6 +214,11 @@ class AncillaPrepSimulator
     void chargeCxMovement(int a, int b);
     void chargeMeasMovement(int q);
 
+    /** Fault sites (oracle-mediated fire decision + kind draw). */
+    bool siteFault(FaultClass cls, double p);
+    void inject1(FaultClass cls, double p, int q);
+    void inject2(FaultClass cls, double p, int a, int b);
+
     /** Gate wrappers (apply + inject). */
     void gateH(int q);
     void gatePrep(int q);
@@ -222,6 +236,7 @@ class AncillaPrepSimulator
     CorrectionSemantics semantics_;
     Rng rng_;
     PauliFrame frame_;
+    FaultOracle *oracle_ = nullptr;
     std::uint64_t verifyAttempts_ = 0;
     std::uint64_t verifyFailures_ = 0;
     std::uint64_t correctionAttempts_ = 0;

@@ -4,589 +4,13 @@
 #include <thread>
 #include <vector>
 
-#include "codes/SteaneCode.hh"
 #include "common/Mutex.hh"
+#include "error/BatchEngine.hh"
+#include "error/ImportanceSampler.hh"
 
 namespace qc {
 
-namespace {
-
 using Word = BatchPauliFrame::Word;
-
-// Block base offsets within the batched frame (same layout as the
-// scalar engine: output block, two correction ancillae, cat qubits).
-constexpr int blockA = 0;
-constexpr int blockB = 7;
-constexpr int blockC = 14;
-constexpr int catBase = 21;
-constexpr int frameQubits = 28;
-
-std::uint64_t
-popcount(const Word *m, int words)
-{
-    std::uint64_t n = 0;
-    for (int w = 0; w < words; ++w)
-        n += static_cast<std::uint64_t>(__builtin_popcountll(m[w]));
-    return n;
-}
-
-bool
-any(const Word *m, int words)
-{
-    for (int w = 0; w < words; ++w) {
-        if (m[w])
-            return true;
-    }
-    return false;
-}
-
-/**
- * One shard of the batched Monte Carlo: a frame wide enough for one
- * batch plus the masked circuit routines and popcount tallies. The
- * control flow mirrors AncillaPrepSimulator step for step; every
- * routine takes the active-trial mask of the trials it advances.
- */
-class BatchWorker
-{
-  public:
-    BatchWorker(const ErrorParams &errors,
-                const MovementModel &movement,
-                CorrectionSemantics semantics, int words)
-        : movement_(movement), semantics_(semantics), words_(words),
-          pGate_(errors.pGate), pMove_(errors.pMove),
-          frame_(frameQubits, words), meas_(7 * wv()), active_(wv()),
-          pending_(wv()), survivors_(wv()), done_(wv()), ok_(wv()),
-          prepMask_(wv()), flip_(wv()), measTmp_(wv()), eq_(wv()),
-          parity_(wv()), confirm_(wv()), have_(wv()), agree_(wv()),
-          prevS0_(wv()), prevS1_(wv()), prevS2_(wv()),
-          prevP_(wv()), coin_(wv())
-    {
-    }
-
-    /** Build the batch's active mask for its first k trials. */
-    const Word *
-    activeMask(int k)
-    {
-        for (int w = 0; w < words_; ++w) {
-            const int lo = 64 * w;
-            if (k >= lo + 64)
-                active_[w] = ~Word{0};
-            else if (k <= lo)
-                active_[w] = 0;
-            else
-                active_[w] = (Word{1} << (k - lo)) - 1;
-        }
-        return active_.data();
-    }
-
-    /** Run one batch of zero-prep trials under the active mask. */
-    void
-    runZeroBatch(Rng rng, ZeroPrepStrategy strategy, const Word *active)
-    {
-        rng_ = rng;
-        frame_.clear();
-        const bool verified =
-            strategy == ZeroPrepStrategy::VerifyOnly ||
-            strategy == ZeroPrepStrategy::VerifyAndCorrect;
-        const bool corrected =
-            strategy == ZeroPrepStrategy::CorrectOnly ||
-            strategy == ZeroPrepStrategy::VerifyAndCorrect;
-
-        if (!corrected) {
-            prepareBlock(blockA, verified, active);
-            classifyTally(active);
-            return;
-        }
-
-        drainCorrectedPrep(active, verified, /*tally=*/true);
-    }
-
-    /** Run one batch of pi/8 conversion trials (Fig 5b). */
-    void
-    runPi8Batch(Rng rng, const Word *active)
-    {
-        rng_ = rng;
-        frame_.clear();
-
-        // Verified-and-corrected zero input, as in runZeroBatch
-        // (residuals are classified after the conversion, not here).
-        drainCorrectedPrep(active, /*verified=*/true,
-                           /*tally=*/false);
-
-        // 7-qubit cat state on the freed block B.
-        const int cat7 = blockB;
-        for (int i = 0; i < 7; ++i)
-            gatePrep(cat7 + i, active);
-        gateH(cat7, active);
-        for (int i = 0; i < 6; ++i)
-            gateCx(cat7 + i, cat7 + i + 1, active);
-
-        // Transversal cat/zero interaction plus transversal pi/8
-        // (conjugated through the frame as S, as in the scalar
-        // engine).
-        for (int i = 0; i < 7; ++i) {
-            chargeCxMovement(cat7 + i, blockA + i, active);
-            frame_.applyCz(cat7 + i, blockA + i, active);
-            frame_.inject2q(rng_, pGate_, cat7 + i, blockA + i,
-                            active);
-        }
-        for (int i = 0; i < 7; ++i) {
-            frame_.applyS(blockA + i, active);
-            frame_.inject1q(rng_, pGate_, blockA + i, active);
-        }
-
-        // Decode the cat block and measure it out.
-        for (int i = 5; i >= 0; --i)
-            gateCx(cat7 + i, cat7 + i + 1, active);
-        gateH(cat7, active);
-        for (int i = 0; i < 7; ++i)
-            measureZFlip(cat7 + i, active, measTmp_.data());
-
-        // Conditional transversal Z fix-up on half the outcomes: the
-        // intended gate leaves the frame untouched but its physical
-        // ops still inject errors. One fair coin per trial.
-        for (int w = 0; w < words_; ++w)
-            coin_[w] = rng_() & active[w];
-        for (int i = 0; i < 7; ++i)
-            frame_.inject1q(rng_, pGate_, blockA + i, coin_.data());
-
-        classifyTally(active);
-    }
-
-    std::uint64_t failures = 0;
-    std::uint64_t verifyAttempts = 0;
-    std::uint64_t verifyFailures = 0;
-    std::uint64_t correctionAttempts = 0;
-    std::uint64_t correctionFailures = 0;
-
-  private:
-    std::size_t wv() const { return static_cast<std::size_t>(words_); }
-
-    /**
-     * Drain the corrected-preparation pipeline for every trial in
-     * `active`: prepare blocks A and B, bit-correct, prepare C,
-     * phase-correct. Trials whose correction stage detects an error
-     * recycle the whole pipeline; finished trials drop out of the
-     * mask and their frame bits stay frozen while the stragglers
-     * loop (every op is masked). When `tally` is set, finished
-     * trials are classified as they complete (runZeroBatch); the
-     * pi/8 path defers classification to after the conversion.
-     */
-    void
-    drainCorrectedPrep(const Word *active, bool verified, bool tally)
-    {
-        // Under ApplyFix a verified pipeline must not trust a
-        // single Z-syndrome extraction (the ancilla's correlated Z
-        // errors are invisible to verification and would be patched
-        // onto A): the phase patch requires two consecutive
-        // agreeing extractions instead (phaseCorrectConfirmed).
-        const bool confirmed = verified
-            && semantics_ == CorrectionSemantics::ApplyFix;
-        std::copy(active, active + words_, pending_.begin());
-        while (any(pending_.data(), words_)) {
-            prepareBlock(blockA, verified, pending_.data());
-            prepareBlock(blockB, verified, pending_.data());
-            correctStage(false, blockA, blockB, pending_.data());
-            for (int w = 0; w < words_; ++w)
-                survivors_[w] = pending_[w] & ok_[w];
-            if (!any(survivors_.data(), words_)) {
-                std::fill(done_.begin(), done_.end(), Word{0});
-            } else if (confirmed) {
-                phaseCorrectConfirmed(blockA, blockC,
-                                      survivors_.data());
-                std::copy(survivors_.begin(), survivors_.end(),
-                          done_.begin());
-            } else {
-                prepareBlock(blockC, verified, survivors_.data());
-                correctStage(true, blockA, blockC,
-                             survivors_.data());
-                for (int w = 0; w < words_; ++w)
-                    done_[w] = survivors_[w] & ok_[w];
-            }
-            if (tally)
-                classifyTally(done_.data());
-            for (int w = 0; w < words_; ++w)
-                pending_[w] &= ~done_[w];
-        }
-    }
-
-    void
-    chargeCxMovement(int a, int b, const Word *m)
-    {
-        for (int i = 0; i < movement_.movesPerCx; ++i)
-            frame_.inject1q(rng_, pMove_, (i & 1) ? b : a, m);
-        for (int i = 0; i < movement_.turnsPerCx; ++i)
-            frame_.inject1q(rng_, pMove_, (i & 1) ? b : a, m);
-    }
-
-    void
-    chargeMeasMovement(int q, const Word *m)
-    {
-        for (int i = 0; i < movement_.movesPerMeas; ++i)
-            frame_.inject1q(rng_, pMove_, q, m);
-    }
-
-    void
-    gateH(int q, const Word *m)
-    {
-        for (int i = 0; i < movement_.movesPer1q; ++i)
-            frame_.inject1q(rng_, pMove_, q, m);
-        frame_.applyH(q, m);
-        frame_.inject1q(rng_, pGate_, q, m);
-    }
-
-    void
-    gatePrep(int q, const Word *m)
-    {
-        frame_.clearQubit(q, m);
-        frame_.inject1q(rng_, pGate_, q, m);
-    }
-
-    void
-    gateCx(int control, int target, const Word *m)
-    {
-        chargeCxMovement(control, target, m);
-        frame_.applyCx(control, target, m);
-        frame_.inject2q(rng_, pGate_, control, target, m);
-    }
-
-    /** Per-trial recorded-outcome flips of a Z-basis measurement. */
-    void
-    measureZFlip(int q, const Word *m, Word *out)
-    {
-        chargeMeasMovement(q, m);
-        const Word *xq = frame_.x(q);
-        for (int w = 0; w < words_; ++w)
-            out[w] = m[w] ? (xq[w] ^ pGate_.next(rng_)) & m[w] : 0;
-        frame_.clearQubit(q, m);
-    }
-
-    /** X-basis measurement flips (phase errors flip the outcome). */
-    void
-    measureXFlip(int q, const Word *m, Word *out)
-    {
-        chargeMeasMovement(q, m);
-        const Word *zq = frame_.z(q);
-        for (int w = 0; w < words_; ++w)
-            out[w] = m[w] ? (zq[w] ^ pGate_.next(rng_)) & m[w] : 0;
-        frame_.clearQubit(q, m);
-    }
-
-    void
-    basicEncode(int base, const Word *m)
-    {
-        for (int q = 0; q < SteaneCode::numPhysical; ++q)
-            gatePrep(base + q, m);
-        for (int seed : SteaneCode::encoderSeeds)
-            gateH(base + seed, m);
-        for (const auto &cx : SteaneCode::encoderCxs)
-            gateCx(base + cx.control, base + cx.target, m);
-    }
-
-    /**
-     * Verify the block against a 3-qubit cat; on return flip_ holds
-     * the rejected trials (subset of m). Tallies attempts/failures.
-     */
-    void
-    verifyBlock(int base, const Word *m)
-    {
-        verifyAttempts += popcount(m, words_);
-
-        for (int i = 0; i < 3; ++i)
-            gatePrep(catBase + i, m);
-        gateH(catBase, m);
-        gateCx(catBase, catBase + 1, m);
-        gateCx(catBase + 1, catBase + 2, m);
-
-        int cat = catBase;
-        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-            if (SteaneCode::verifyMask & (SteaneCode::Mask{1} << q)) {
-                chargeCxMovement(base + q, cat, m);
-                frame_.applyCz(base + q, cat, m);
-                frame_.inject2q(rng_, pGate_, base + q, cat, m);
-                ++cat;
-            }
-        }
-
-        std::fill(flip_.begin(), flip_.end(), Word{0});
-        for (int i = 0; i < 3; ++i) {
-            measureXFlip(catBase + i, m, measTmp_.data());
-            for (int w = 0; w < words_; ++w)
-                flip_[w] ^= measTmp_[w];
-        }
-        verifyFailures += popcount(flip_.data(), words_);
-    }
-
-    /**
-     * Encode (and, if verified, verify with masked retries) the
-     * block for every trial in m. On return all m trials hold an
-     * accepted block.
-     */
-    void
-    prepareBlock(int base, bool verified, const Word *m)
-    {
-        std::copy(m, m + words_, prepMask_.begin());
-        for (;;) {
-            basicEncode(base, prepMask_.data());
-            if (!verified)
-                return;
-            verifyBlock(base, prepMask_.data());
-            for (int w = 0; w < words_; ++w)
-                prepMask_[w] &= flip_[w];
-            if (!any(prepMask_.data(), words_))
-                return;
-        }
-    }
-
-    /**
-     * One correction stage (bit stage when phase == false, phase
-     * stage otherwise) on block A using a fresh ancilla block. On
-     * return ok_ holds the trials that keep their block (under
-     * DiscardOnSyndrome, trials with a non-trivial syndrome or odd
-     * readout parity are dropped; under ApplyFix every trial passes
-     * and the decoded single-qubit patch is applied per trial).
-     */
-    void
-    correctStage(bool phase, int base_a, int base_anc, const Word *m)
-    {
-        correctionAttempts += popcount(m, words_);
-
-        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-            if (phase)
-                gateCx(base_anc + q, base_a + q, m);
-            else
-                gateCx(base_a + q, base_anc + q, m);
-        }
-        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-            Word *out = &meas_[static_cast<std::size_t>(q) * wv()];
-            if (phase)
-                measureXFlip(base_anc + q, m, out);
-            else
-                measureZFlip(base_anc + q, m, out);
-        }
-
-        if (semantics_ == CorrectionSemantics::ApplyFix) {
-            applyFixScatter(phase, base_a, m);
-            std::copy(m, m + words_, ok_.begin());
-            return;
-        }
-
-        for (int w = 0; w < words_; ++w) {
-            Word s_any = 0;
-            Word parity = 0;
-            for (int bit = 0; bit < 3; ++bit)
-                s_any |= syndromeWord(bit, w);
-            for (int q = 0; q < SteaneCode::numPhysical; ++q)
-                parity ^= meas_[static_cast<std::size_t>(q) * wv()
-                                + static_cast<std::size_t>(w)];
-            const Word bad = (s_any | parity) & m[w];
-            correctionFailures += static_cast<std::uint64_t>(
-                __builtin_popcountll(bad));
-            ok_[w] = m[w] & ~bad;
-        }
-    }
-
-    /**
-     * Parity-aware patch scatter from the current meas_ readout
-     * (SteaneCode::fixFor): over the 15 non-trivial (syndrome,
-     * parity) readout classes, trials in a class get the decoded
-     * minimal-weight patch (one gate error per patched qubit) on
-     * block A — X patches for the bit stage, Z for the phase
-     * stage. The patch matches the readout's coset, so correlated
-     * even-parity patterns are not "completed" into logical
-     * operators (the first-order failure path of a syndrome-only
-     * single-qubit decode).
-     */
-    void
-    applyFixScatter(bool phase, int base_a, const Word *m)
-    {
-        for (int w = 0; w < words_; ++w) {
-            Word parity = 0;
-            for (int q = 0; q < SteaneCode::numPhysical; ++q)
-                parity ^= meas_[static_cast<std::size_t>(q) * wv()
-                                + static_cast<std::size_t>(w)];
-            parity_[static_cast<std::size_t>(w)] = parity;
-        }
-        for (int odd = 1; odd >= 0; --odd) {
-            for (unsigned s = 0; s < 8; ++s) {
-                const SteaneCode::Mask fix =
-                    SteaneCode::fixFor(s, odd != 0);
-                if (!fix)
-                    continue;
-                syndromeEquals(s, m);
-                for (int w = 0; w < words_; ++w) {
-                    const Word p =
-                        parity_[static_cast<std::size_t>(w)];
-                    eq_[static_cast<std::size_t>(w)] &=
-                        odd ? p : ~p;
-                }
-                if (!any(eq_.data(), words_))
-                    continue;
-                for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-                    if (!(fix & (SteaneCode::Mask{1} << q)))
-                        continue;
-                    if (phase)
-                        frame_.flipZ(base_a + q, eq_.data());
-                    else
-                        frame_.flipX(base_a + q, eq_.data());
-                    frame_.inject1q(rng_, pGate_, base_a + q,
-                                    eq_.data());
-                }
-            }
-        }
-    }
-
-    /**
-     * ApplyFix phase correction for verified pipelines: Shor-style
-     * repeated syndrome extraction, mirroring the scalar engine's
-     * phaseCorrectConfirmed. Each round preps a fresh verified
-     * ancilla for the still-unconfirmed trials, extracts (syndrome,
-     * parity), and patches the trials whose extraction agrees with
-     * their previous one; the rest carry the new readout into the
-     * next round. Each extraction tallies a correction attempt.
-     */
-    void
-    phaseCorrectConfirmed(int base_a, int base_c, const Word *m)
-    {
-        std::copy(m, m + words_, confirm_.begin());
-        std::fill(have_.begin(), have_.end(), Word{0});
-        while (any(confirm_.data(), words_)) {
-            prepareBlock(base_c, /*verified=*/true,
-                         confirm_.data());
-            correctionAttempts += popcount(confirm_.data(), words_);
-            for (int q = 0; q < SteaneCode::numPhysical; ++q)
-                gateCx(base_c + q, base_a + q, confirm_.data());
-            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-                Word *out =
-                    &meas_[static_cast<std::size_t>(q) * wv()];
-                measureXFlip(base_c + q, confirm_.data(), out);
-            }
-            for (int w = 0; w < words_; ++w) {
-                const Word s0 = syndromeWord(0, w);
-                const Word s1 = syndromeWord(1, w);
-                const Word s2 = syndromeWord(2, w);
-                Word parity = 0;
-                for (int q = 0; q < SteaneCode::numPhysical; ++q)
-                    parity ^=
-                        meas_[static_cast<std::size_t>(q) * wv()
-                              + static_cast<std::size_t>(w)];
-                agree_[w] = confirm_[w] & have_[w]
-                    & ~((s0 ^ prevS0_[w]) | (s1 ^ prevS1_[w])
-                        | (s2 ^ prevS2_[w]) | (parity ^ prevP_[w]));
-                prevS0_[w] = s0;
-                prevS1_[w] = s1;
-                prevS2_[w] = s2;
-                prevP_[w] = parity;
-                have_[w] |= confirm_[w];
-            }
-            if (any(agree_.data(), words_)) {
-                applyFixScatter(/*phase=*/true, base_a,
-                                agree_.data());
-                for (int w = 0; w < words_; ++w)
-                    confirm_[w] &= ~agree_[w];
-            }
-        }
-    }
-
-    /** Word `w` of Hamming-syndrome bit `bit` over the readouts. */
-    Word
-    syndromeWord(int bit, int w) const
-    {
-        Word s = 0;
-        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-            if ((static_cast<unsigned>(q) + 1) & (1u << bit))
-                s ^= meas_[static_cast<std::size_t>(q) * wv()
-                           + static_cast<std::size_t>(w)];
-        }
-        return s;
-    }
-
-    /** eq_ := trials in m whose readout syndrome equals `value`. */
-    void
-    syndromeEquals(unsigned value, const Word *m)
-    {
-        for (int w = 0; w < words_; ++w) {
-            Word mismatch = 0;
-            for (int bit = 0; bit < 3; ++bit) {
-                const Word want =
-                    (value & (1u << bit)) ? ~Word{0} : Word{0};
-                mismatch |= syndromeWord(bit, w) ^ want;
-            }
-            eq_[w] = ~mismatch & m[w];
-        }
-    }
-
-    /**
-     * Word-parallel residual classification of block A. For the
-     * Steane code with perfect decoding, the residual is logical iff
-     * parity(error) XOR (syndrome != 0): the correction flips one
-     * qubit exactly when the syndrome is non-trivial, and a
-     * trivial-syndrome residual is a stabilizer (even parity) or a
-     * logical representative (odd parity). A unit test checks this
-     * identity against SteaneCode::badCoset for all 128 patterns.
-     */
-    void
-    classifyTally(const Word *m)
-    {
-        if (!any(m, words_))
-            return;
-        for (int w = 0; w < words_; ++w) {
-            Word fail = 0;
-            for (int plane = 0; plane < 2; ++plane) {
-                Word parity = 0;
-                Word s0 = 0, s1 = 0, s2 = 0;
-                for (int q = 0; q < SteaneCode::numPhysical; ++q) {
-                    const Word e = plane == 0
-                        ? frame_.x(blockA + q)[w]
-                        : frame_.z(blockA + q)[w];
-                    parity ^= e;
-                    const unsigned col = static_cast<unsigned>(q) + 1;
-                    if (col & 1u)
-                        s0 ^= e;
-                    if (col & 2u)
-                        s1 ^= e;
-                    if (col & 4u)
-                        s2 ^= e;
-                }
-                fail |= parity ^ (s0 | s1 | s2);
-            }
-            failures += static_cast<std::uint64_t>(
-                __builtin_popcountll(fail & m[w]));
-        }
-    }
-
-    MovementModel movement_;
-    CorrectionSemantics semantics_;
-    int words_;
-    Rng rng_;
-    BernoulliWord pGate_;
-    BernoulliWord pMove_;
-    BatchPauliFrame frame_;
-
-    std::vector<Word> meas_; ///< 7 readout-flip planes (7 * words_)
-    std::vector<Word> active_;
-    std::vector<Word> pending_;
-    std::vector<Word> survivors_;
-    std::vector<Word> done_;
-    std::vector<Word> ok_;
-    std::vector<Word> prepMask_;
-    std::vector<Word> flip_;
-    std::vector<Word> measTmp_;
-    std::vector<Word> eq_;
-    std::vector<Word> parity_; ///< logical readout parity per trial
-    // Confirmed phase-correction state (syndrome bits + parity of
-    // the previous extraction, per trial).
-    std::vector<Word> confirm_; ///< trials awaiting confirmation
-    std::vector<Word> have_;    ///< trials with a previous readout
-    std::vector<Word> agree_;   ///< trials whose extractions agree
-    std::vector<Word> prevS0_;
-    std::vector<Word> prevS1_;
-    std::vector<Word> prevS2_;
-    std::vector<Word> prevP_;
-    std::vector<Word> coin_;
-};
-
-} // namespace
 
 BatchAncillaSim::BatchAncillaSim(ErrorParams errors,
                                  MovementModel movement,
@@ -598,6 +22,12 @@ BatchAncillaSim::BatchAncillaSim(ErrorParams errors,
 {
     if (config_.wordsPerQubit < 1)
         config_.wordsPerQubit = 1;
+}
+
+simd::Width
+BatchAncillaSim::resolvedWidth() const
+{
+    return simd::resolveWidth(config_.width, config_.wordsPerQubit);
 }
 
 PrepEstimate
@@ -619,6 +49,23 @@ BatchAncillaSim::estimatePi8(std::uint64_t trials)
     return est;
 }
 
+StratifiedEstimate
+BatchAncillaSim::estimateStratified(ZeroPrepStrategy strategy,
+                                    const ImportanceConfig &config)
+{
+    StratifiedPrepSampler sampler(errors_, movement_, seeder_.split(),
+                                  semantics_, config_.threads);
+    return sampler.estimate(strategy, config);
+}
+
+StratifiedEstimate
+BatchAncillaSim::estimateStratifiedPi8(const ImportanceConfig &config)
+{
+    StratifiedPrepSampler sampler(errors_, movement_, seeder_.split(),
+                                  semantics_, config_.threads);
+    return sampler.estimatePi8(config);
+}
+
 PrepEstimate
 BatchAncillaSim::run(ZeroPrepStrategy strategy, bool pi8,
                      std::uint64_t trials)
@@ -629,6 +76,11 @@ BatchAncillaSim::run(ZeroPrepStrategy strategy, bool pi8,
         return est;
 
     const int words = config_.wordsPerQubit;
+    // Resolve the SIMD width up front (one env lookup / CPU probe
+    // per run, and a forced-but-unsupported width fails loudly here
+    // rather than inside a worker thread). Purely a throughput
+    // choice: every width is bit-identical.
+    const simd::Width width = resolvedWidth();
     const std::uint64_t per = static_cast<std::uint64_t>(64 * words);
     const std::uint64_t num_batches = (trials + per - 1) / per;
 
@@ -674,7 +126,9 @@ BatchAncillaSim::run(ZeroPrepStrategy strategy, bool pi8,
     std::atomic<std::uint64_t> next{0};
 
     auto work = [&]() {
-        BatchWorker worker(errors_, movement_, semantics_, words);
+        const std::unique_ptr<BatchWorkerBase> worker =
+            makeBatchWorker(width, errors_, movement_, semantics_,
+                            words);
         for (;;) {
             const std::uint64_t b =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -683,18 +137,19 @@ BatchAncillaSim::run(ZeroPrepStrategy strategy, bool pi8,
             const std::uint64_t lo = b * per;
             const int k = static_cast<int>(
                 std::min<std::uint64_t>(per, trials - lo));
-            const Word *active = worker.activeMask(k);
+            const Word *active = worker->activeMask(k);
             if (pi8)
-                worker.runPi8Batch(Rng(seeds[b]), active);
+                worker->runPi8Batch(Rng(seeds[b]), active);
             else
-                worker.runZeroBatch(Rng(seeds[b]), strategy, active);
+                worker->runZeroBatch(Rng(seeds[b]), strategy,
+                                     active);
         }
         MutexLock lock(tallies.mutex);
-        tallies.failures += worker.failures;
-        tallies.verifyTrials += worker.verifyAttempts;
-        tallies.discards += worker.verifyFailures;
-        tallies.correctionTrials += worker.correctionAttempts;
-        tallies.correctionDiscards += worker.correctionFailures;
+        tallies.failures += worker->failures;
+        tallies.verifyTrials += worker->verifyAttempts;
+        tallies.discards += worker->verifyFailures;
+        tallies.correctionTrials += worker->correctionAttempts;
+        tallies.correctionDiscards += worker->correctionFailures;
     };
 
     if (threads == 1) {

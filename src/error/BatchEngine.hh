@@ -1,0 +1,762 @@
+/**
+ * @file
+ * The batched Monte Carlo worker, templated on SIMD width.
+ *
+ * BatchWorkerT<Ops> is the engine behind BatchAncillaSim: a frame
+ * wide enough for one batch plus the masked circuit routines and
+ * popcount tallies, mirroring AncillaPrepSimulator step for step.
+ * The Ops policy (common/simd/SimdOps.hh) picks how many 64-bit
+ * words the pure-bitwise frame loops advance per step; every
+ * RNG-consuming routine is ordered per 64-bit word of the *bit
+ * stream* (RareBernoulliStream), so a batch's results are a pure
+ * function of its seed — bit-identical across every width,
+ * including the scalar fallback.
+ *
+ * Each width is instantiated in its own translation unit
+ * (src/error/simd/BatchEngine*.cc) so the 256/512-bit ones can be
+ * compiled with -mavx2/-mavx512f without imposing those ISAs on the
+ * rest of the binary; makeBatchWorker() dispatches on a resolved
+ * simd::Width (see common/simd/SimdDispatch.hh for the resolution
+ * rules and the QC_FORCE_WIDTH override).
+ */
+
+#ifndef QC_ERROR_BATCH_ENGINE_HH
+#define QC_ERROR_BATCH_ENGINE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codes/SteaneCode.hh"
+#include "common/Rng.hh"
+#include "common/simd/SimdDispatch.hh"
+#include "error/AncillaSim.hh"
+#include "error/BatchPauliFrame.hh"
+
+namespace qc {
+
+/**
+ * Width-erased interface of one batch worker. Tallies accumulate
+ * across run*Batch calls; the driver folds them into the shared
+ * board once per worker thread.
+ */
+class BatchWorkerBase
+{
+  public:
+    using Word = std::uint64_t;
+
+    virtual ~BatchWorkerBase() = default;
+
+    /** Build the batch's active mask for its first k trials. */
+    virtual const Word *activeMask(int k) = 0;
+
+    /** Run one batch of zero-prep trials under the active mask. */
+    virtual void runZeroBatch(Rng rng, ZeroPrepStrategy strategy,
+                              const Word *active) = 0;
+
+    /** Run one batch of pi/8 conversion trials (Fig 5b). */
+    virtual void runPi8Batch(Rng rng, const Word *active) = 0;
+
+    std::uint64_t failures = 0;
+    std::uint64_t verifyAttempts = 0;
+    std::uint64_t verifyFailures = 0;
+    std::uint64_t correctionAttempts = 0;
+    std::uint64_t correctionFailures = 0;
+};
+
+/**
+ * Construct a worker for the given (already resolved, non-Auto)
+ * width. Defined in src/error/simd/BatchEngineFactory.cc; each case
+ * forwards to the factory exported by that width's translation unit.
+ */
+std::unique_ptr<BatchWorkerBase>
+makeBatchWorker(simd::Width width, const ErrorParams &errors,
+                const MovementModel &movement,
+                CorrectionSemantics semantics, int words);
+
+namespace batch_detail {
+
+inline std::uint64_t
+popcount(const std::uint64_t *m, int words)
+{
+    std::uint64_t n = 0;
+    for (int w = 0; w < words; ++w)
+        n += static_cast<std::uint64_t>(__builtin_popcountll(m[w]));
+    return n;
+}
+
+inline bool
+any(const std::uint64_t *m, int words)
+{
+    for (int w = 0; w < words; ++w) {
+        if (m[w])
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Run `body(ops, w)` over a word range: full Ops-wide blocks first,
+ * then a 1-lane tail. The body is generic over the ops policy, so
+ * each pure-bitwise loop is written once and lowered at both widths
+ * (when Ops is WordOps the first loop already covers everything).
+ */
+template <class Ops, class F>
+inline void
+spans(int words, F &&body)
+{
+    int w = 0;
+    for (; w + Ops::kLanes <= words; w += Ops::kLanes)
+        body(Ops{}, w);
+    for (; w < words; ++w)
+        body(simd::WordOps{}, w);
+}
+
+// Block base offsets within the batched frame (same layout as the
+// scalar engine: output block, two correction ancillae, cat qubits).
+constexpr int blockA = 0;
+constexpr int blockB = 7;
+constexpr int blockC = 14;
+constexpr int catBase = 21;
+constexpr int frameQubits = 28;
+
+} // namespace batch_detail
+
+/**
+ * One shard of the batched Monte Carlo at a fixed SIMD width. The
+ * control flow mirrors AncillaPrepSimulator step for step; every
+ * routine takes the active-trial mask of the trials it advances.
+ */
+template <class Ops>
+class BatchWorkerT final : public BatchWorkerBase
+{
+  public:
+    BatchWorkerT(const ErrorParams &errors,
+                 const MovementModel &movement,
+                 CorrectionSemantics semantics, int words)
+        : movement_(movement), semantics_(semantics), words_(words),
+          pGate_(errors.pGate), pMove_(errors.pMove),
+          frame_(batch_detail::frameQubits, words), meas_(7 * wv()),
+          active_(wv()), pending_(wv()), survivors_(wv()),
+          done_(wv()), ok_(wv()), prepMask_(wv()), flip_(wv()),
+          measTmp_(wv()), eq_(wv()), parity_(wv()), confirm_(wv()),
+          have_(wv()), agree_(wv()), prevS0_(wv()), prevS1_(wv()),
+          prevS2_(wv()), prevP_(wv()), coin_(wv())
+    {
+    }
+
+    const Word *
+    activeMask(int k) override
+    {
+        for (int w = 0; w < words_; ++w) {
+            const int lo = 64 * w;
+            if (k >= lo + 64)
+                active_[w] = ~Word{0};
+            else if (k <= lo)
+                active_[w] = 0;
+            else
+                active_[w] = (Word{1} << (k - lo)) - 1;
+        }
+        return active_.data();
+    }
+
+    void
+    runZeroBatch(Rng rng, ZeroPrepStrategy strategy,
+                 const Word *active) override
+    {
+        rng_ = rng;
+        pGate_.reset(rng_);
+        pMove_.reset(rng_);
+        frame_.clear();
+        const bool verified =
+            strategy == ZeroPrepStrategy::VerifyOnly ||
+            strategy == ZeroPrepStrategy::VerifyAndCorrect;
+        const bool corrected =
+            strategy == ZeroPrepStrategy::CorrectOnly ||
+            strategy == ZeroPrepStrategy::VerifyAndCorrect;
+
+        if (!corrected) {
+            prepareBlock(batch_detail::blockA, verified, active);
+            classifyTally(active);
+            return;
+        }
+
+        drainCorrectedPrep(active, verified, /*tally=*/true);
+    }
+
+    void
+    runPi8Batch(Rng rng, const Word *active) override
+    {
+        rng_ = rng;
+        pGate_.reset(rng_);
+        pMove_.reset(rng_);
+        frame_.clear();
+
+        // Verified-and-corrected zero input, as in runZeroBatch
+        // (residuals are classified after the conversion, not here).
+        drainCorrectedPrep(active, /*verified=*/true,
+                           /*tally=*/false);
+
+        // 7-qubit cat state on the freed block B.
+        const int cat7 = batch_detail::blockB;
+        for (int i = 0; i < 7; ++i)
+            gatePrep(cat7 + i, active);
+        gateH(cat7, active);
+        for (int i = 0; i < 6; ++i)
+            gateCx(cat7 + i, cat7 + i + 1, active);
+
+        // Transversal cat/zero interaction plus transversal pi/8
+        // (conjugated through the frame as S, as in the scalar
+        // engine).
+        for (int i = 0; i < 7; ++i) {
+            chargeCxMovement(cat7 + i, batch_detail::blockA + i,
+                             active);
+            frame_.applyCz(cat7 + i, batch_detail::blockA + i,
+                           active);
+            frame_.inject2q(rng_, pGate_, cat7 + i,
+                            batch_detail::blockA + i, active);
+        }
+        for (int i = 0; i < 7; ++i) {
+            frame_.applyS(batch_detail::blockA + i, active);
+            frame_.inject1q(rng_, pGate_, batch_detail::blockA + i,
+                            active);
+        }
+
+        // Decode the cat block and measure it out.
+        for (int i = 5; i >= 0; --i)
+            gateCx(cat7 + i, cat7 + i + 1, active);
+        gateH(cat7, active);
+        for (int i = 0; i < 7; ++i)
+            measureZFlip(cat7 + i, active, measTmp_.data());
+
+        // Conditional transversal Z fix-up on half the outcomes: the
+        // intended gate leaves the frame untouched but its physical
+        // ops still inject errors. One fair coin per trial.
+        for (int w = 0; w < words_; ++w)
+            coin_[w] = rng_() & active[w];
+        for (int i = 0; i < 7; ++i)
+            frame_.inject1q(rng_, pGate_, batch_detail::blockA + i,
+                            coin_.data());
+
+        classifyTally(active);
+    }
+
+  private:
+    std::size_t wv() const { return static_cast<std::size_t>(words_); }
+
+    /**
+     * Drain the corrected-preparation pipeline for every trial in
+     * `active`: prepare blocks A and B, bit-correct, prepare C,
+     * phase-correct. Trials whose correction stage detects an error
+     * recycle the whole pipeline; finished trials drop out of the
+     * mask and their frame bits stay frozen while the stragglers
+     * loop (every op is masked). When `tally` is set, finished
+     * trials are classified as they complete (runZeroBatch); the
+     * pi/8 path defers classification to after the conversion.
+     */
+    void
+    drainCorrectedPrep(const Word *active, bool verified, bool tally)
+    {
+        using batch_detail::any;
+        // Under ApplyFix a verified pipeline must not trust a
+        // single Z-syndrome extraction (the ancilla's correlated Z
+        // errors are invisible to verification and would be patched
+        // onto A): the phase patch requires two consecutive
+        // agreeing extractions instead (phaseCorrectConfirmed).
+        const bool confirmed = verified
+            && semantics_ == CorrectionSemantics::ApplyFix;
+        std::copy(active, active + words_, pending_.begin());
+        while (any(pending_.data(), words_)) {
+            prepareBlock(batch_detail::blockA, verified,
+                         pending_.data());
+            prepareBlock(batch_detail::blockB, verified,
+                         pending_.data());
+            correctStage(false, batch_detail::blockA,
+                         batch_detail::blockB, pending_.data());
+            batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+                using O = decltype(ops);
+                O::store(survivors_.data() + w,
+                         O::load(pending_.data() + w)
+                             & O::load(ok_.data() + w));
+            });
+            if (!any(survivors_.data(), words_)) {
+                std::fill(done_.begin(), done_.end(), Word{0});
+            } else if (confirmed) {
+                phaseCorrectConfirmed(batch_detail::blockA,
+                                      batch_detail::blockC,
+                                      survivors_.data());
+                std::copy(survivors_.begin(), survivors_.end(),
+                          done_.begin());
+            } else {
+                prepareBlock(batch_detail::blockC, verified,
+                             survivors_.data());
+                correctStage(true, batch_detail::blockA,
+                             batch_detail::blockC,
+                             survivors_.data());
+                batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+                    using O = decltype(ops);
+                    O::store(done_.data() + w,
+                             O::load(survivors_.data() + w)
+                                 & O::load(ok_.data() + w));
+                });
+            }
+            if (tally)
+                classifyTally(done_.data());
+            batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+                using O = decltype(ops);
+                O::store(pending_.data() + w,
+                         O::load(pending_.data() + w)
+                             & ~O::load(done_.data() + w));
+            });
+        }
+    }
+
+    void
+    chargeCxMovement(int a, int b, const Word *m)
+    {
+        for (int i = 0; i < movement_.movesPerCx; ++i)
+            frame_.inject1q(rng_, pMove_, (i & 1) ? b : a, m);
+        for (int i = 0; i < movement_.turnsPerCx; ++i)
+            frame_.inject1q(rng_, pMove_, (i & 1) ? b : a, m);
+    }
+
+    void
+    chargeMeasMovement(int q, const Word *m)
+    {
+        for (int i = 0; i < movement_.movesPerMeas; ++i)
+            frame_.inject1q(rng_, pMove_, q, m);
+    }
+
+    void
+    gateH(int q, const Word *m)
+    {
+        for (int i = 0; i < movement_.movesPer1q; ++i)
+            frame_.inject1q(rng_, pMove_, q, m);
+        frame_.applyH(q, m);
+        frame_.inject1q(rng_, pGate_, q, m);
+    }
+
+    void
+    gatePrep(int q, const Word *m)
+    {
+        frame_.clearQubit(q, m);
+        frame_.inject1q(rng_, pGate_, q, m);
+    }
+
+    void
+    gateCx(int control, int target, const Word *m)
+    {
+        chargeCxMovement(control, target, m);
+        frame_.applyCx(control, target, m);
+        frame_.inject2q(rng_, pGate_, control, target, m);
+    }
+
+    /**
+     * Per-trial recorded-outcome flips of a Z-basis measurement.
+     * The flip stream advances over all words regardless of the
+     * mask (width-invariant RNG); flips outside the mask are
+     * discarded.
+     */
+    void
+    measureZFlip(int q, const Word *m, Word *out)
+    {
+        chargeMeasMovement(q, m);
+        const Word *xq = frame_.x(q);
+        std::fill(out, out + words_, Word{0});
+        pGate_.window(rng_, words_,
+                      [&](int w, Word f) { out[w] = f; });
+        batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+            using O = decltype(ops);
+            O::store(out + w, (O::load(xq + w) ^ O::load(out + w))
+                                  & O::load(m + w));
+        });
+        frame_.clearQubit(q, m);
+    }
+
+    /** X-basis measurement flips (phase errors flip the outcome). */
+    void
+    measureXFlip(int q, const Word *m, Word *out)
+    {
+        chargeMeasMovement(q, m);
+        const Word *zq = frame_.z(q);
+        std::fill(out, out + words_, Word{0});
+        pGate_.window(rng_, words_,
+                      [&](int w, Word f) { out[w] = f; });
+        batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+            using O = decltype(ops);
+            O::store(out + w, (O::load(zq + w) ^ O::load(out + w))
+                                  & O::load(m + w));
+        });
+        frame_.clearQubit(q, m);
+    }
+
+    void
+    basicEncode(int base, const Word *m)
+    {
+        for (int q = 0; q < SteaneCode::numPhysical; ++q)
+            gatePrep(base + q, m);
+        for (int seed : SteaneCode::encoderSeeds)
+            gateH(base + seed, m);
+        for (const auto &cx : SteaneCode::encoderCxs)
+            gateCx(base + cx.control, base + cx.target, m);
+    }
+
+    /**
+     * Verify the block against a 3-qubit cat; on return flip_ holds
+     * the rejected trials (subset of m). Tallies attempts/failures.
+     */
+    void
+    verifyBlock(int base, const Word *m)
+    {
+        using batch_detail::catBase;
+        verifyAttempts += batch_detail::popcount(m, words_);
+
+        for (int i = 0; i < 3; ++i)
+            gatePrep(catBase + i, m);
+        gateH(catBase, m);
+        gateCx(catBase, catBase + 1, m);
+        gateCx(catBase + 1, catBase + 2, m);
+
+        int cat = catBase;
+        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+            if (SteaneCode::verifyMask & (SteaneCode::Mask{1} << q)) {
+                chargeCxMovement(base + q, cat, m);
+                frame_.applyCz(base + q, cat, m);
+                frame_.inject2q(rng_, pGate_, base + q, cat, m);
+                ++cat;
+            }
+        }
+
+        std::fill(flip_.begin(), flip_.end(), Word{0});
+        for (int i = 0; i < 3; ++i) {
+            measureXFlip(catBase + i, m, measTmp_.data());
+            batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+                using O = decltype(ops);
+                O::store(flip_.data() + w,
+                         O::load(flip_.data() + w)
+                             ^ O::load(measTmp_.data() + w));
+            });
+        }
+        verifyFailures += batch_detail::popcount(flip_.data(), words_);
+    }
+
+    /**
+     * Encode (and, if verified, verify with masked retries) the
+     * block for every trial in m. On return all m trials hold an
+     * accepted block.
+     */
+    void
+    prepareBlock(int base, bool verified, const Word *m)
+    {
+        std::copy(m, m + words_, prepMask_.begin());
+        for (;;) {
+            basicEncode(base, prepMask_.data());
+            if (!verified)
+                return;
+            verifyBlock(base, prepMask_.data());
+            batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+                using O = decltype(ops);
+                O::store(prepMask_.data() + w,
+                         O::load(prepMask_.data() + w)
+                             & O::load(flip_.data() + w));
+            });
+            if (!batch_detail::any(prepMask_.data(), words_))
+                return;
+        }
+    }
+
+    /**
+     * One correction stage (bit stage when phase == false, phase
+     * stage otherwise) on block A using a fresh ancilla block. On
+     * return ok_ holds the trials that keep their block (under
+     * DiscardOnSyndrome, trials with a non-trivial syndrome or odd
+     * readout parity are dropped; under ApplyFix every trial passes
+     * and the decoded single-qubit patch is applied per trial).
+     */
+    void
+    correctStage(bool phase, int base_a, int base_anc, const Word *m)
+    {
+        correctionAttempts += batch_detail::popcount(m, words_);
+
+        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+            if (phase)
+                gateCx(base_anc + q, base_a + q, m);
+            else
+                gateCx(base_a + q, base_anc + q, m);
+        }
+        for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+            Word *out = &meas_[static_cast<std::size_t>(q) * wv()];
+            if (phase)
+                measureXFlip(base_anc + q, m, out);
+            else
+                measureZFlip(base_anc + q, m, out);
+        }
+
+        if (semantics_ == CorrectionSemantics::ApplyFix) {
+            applyFixScatter(phase, base_a, m);
+            std::copy(m, m + words_, ok_.begin());
+            return;
+        }
+
+        batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+            using O = decltype(ops);
+            auto s0 = O::zero(), s1 = O::zero(), s2 = O::zero();
+            auto parity = O::zero();
+            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                const auto e = O::load(
+                    &meas_[static_cast<std::size_t>(q) * wv()] + w);
+                parity = parity ^ e;
+                const unsigned col = static_cast<unsigned>(q) + 1;
+                if (col & 1u)
+                    s0 = s0 ^ e;
+                if (col & 2u)
+                    s1 = s1 ^ e;
+                if (col & 4u)
+                    s2 = s2 ^ e;
+            }
+            const auto bad = (s0 | s1 | s2 | parity) & O::load(m + w);
+            O::store(measTmp_.data() + w, bad);
+            O::store(ok_.data() + w, O::load(m + w) & ~bad);
+        });
+        for (int w = 0; w < words_; ++w)
+            correctionFailures += static_cast<std::uint64_t>(
+                __builtin_popcountll(measTmp_[w]));
+    }
+
+    /**
+     * Parity-aware patch scatter from the current meas_ readout
+     * (SteaneCode::fixFor): over the 15 non-trivial (syndrome,
+     * parity) readout classes, trials in a class get the decoded
+     * minimal-weight patch (one gate error per patched qubit) on
+     * block A — X patches for the bit stage, Z for the phase
+     * stage. The patch matches the readout's coset, so correlated
+     * even-parity patterns are not "completed" into logical
+     * operators (the first-order failure path of a syndrome-only
+     * single-qubit decode).
+     */
+    void
+    applyFixScatter(bool phase, int base_a, const Word *m)
+    {
+        batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+            using O = decltype(ops);
+            auto parity = O::zero();
+            for (int q = 0; q < SteaneCode::numPhysical; ++q)
+                parity = parity
+                    ^ O::load(&meas_[static_cast<std::size_t>(q)
+                                     * wv()]
+                              + w);
+            O::store(parity_.data() + w, parity);
+        });
+        for (int odd = 1; odd >= 0; --odd) {
+            for (unsigned s = 0; s < 8; ++s) {
+                const SteaneCode::Mask fix =
+                    SteaneCode::fixFor(s, odd != 0);
+                if (!fix)
+                    continue;
+                syndromeEquals(s, m);
+                batch_detail::spans<Ops>(words_, [&](auto ops,
+                                                     int w) {
+                    using O = decltype(ops);
+                    const auto p = O::load(parity_.data() + w);
+                    O::store(eq_.data() + w,
+                             O::load(eq_.data() + w)
+                                 & (odd ? p : ~p));
+                });
+                if (!batch_detail::any(eq_.data(), words_))
+                    continue;
+                for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                    if (!(fix & (SteaneCode::Mask{1} << q)))
+                        continue;
+                    if (phase)
+                        frame_.flipZ(base_a + q, eq_.data());
+                    else
+                        frame_.flipX(base_a + q, eq_.data());
+                    frame_.inject1q(rng_, pGate_, base_a + q,
+                                    eq_.data());
+                }
+            }
+        }
+    }
+
+    /**
+     * ApplyFix phase correction for verified pipelines: Shor-style
+     * repeated syndrome extraction, mirroring the scalar engine's
+     * phaseCorrectConfirmed. Each round preps a fresh verified
+     * ancilla for the still-unconfirmed trials, extracts (syndrome,
+     * parity), and patches the trials whose extraction agrees with
+     * their previous one; the rest carry the new readout into the
+     * next round. Each extraction tallies a correction attempt.
+     */
+    void
+    phaseCorrectConfirmed(int base_a, int base_c, const Word *m)
+    {
+        using batch_detail::any;
+        std::copy(m, m + words_, confirm_.begin());
+        std::fill(have_.begin(), have_.end(), Word{0});
+        while (any(confirm_.data(), words_)) {
+            prepareBlock(base_c, /*verified=*/true,
+                         confirm_.data());
+            correctionAttempts +=
+                batch_detail::popcount(confirm_.data(), words_);
+            for (int q = 0; q < SteaneCode::numPhysical; ++q)
+                gateCx(base_c + q, base_a + q, confirm_.data());
+            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                Word *out =
+                    &meas_[static_cast<std::size_t>(q) * wv()];
+                measureXFlip(base_c + q, confirm_.data(), out);
+            }
+            batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+                using O = decltype(ops);
+                auto s0 = O::zero(), s1 = O::zero(), s2 = O::zero();
+                auto parity = O::zero();
+                for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                    const auto e = O::load(
+                        &meas_[static_cast<std::size_t>(q) * wv()]
+                        + w);
+                    parity = parity ^ e;
+                    const unsigned col =
+                        static_cast<unsigned>(q) + 1;
+                    if (col & 1u)
+                        s0 = s0 ^ e;
+                    if (col & 2u)
+                        s1 = s1 ^ e;
+                    if (col & 4u)
+                        s2 = s2 ^ e;
+                }
+                const auto confirm = O::load(confirm_.data() + w);
+                O::store(
+                    agree_.data() + w,
+                    confirm & O::load(have_.data() + w)
+                        & ~((s0 ^ O::load(prevS0_.data() + w))
+                            | (s1 ^ O::load(prevS1_.data() + w))
+                            | (s2 ^ O::load(prevS2_.data() + w))
+                            | (parity
+                               ^ O::load(prevP_.data() + w))));
+                O::store(prevS0_.data() + w, s0);
+                O::store(prevS1_.data() + w, s1);
+                O::store(prevS2_.data() + w, s2);
+                O::store(prevP_.data() + w, parity);
+                O::store(have_.data() + w,
+                         O::load(have_.data() + w) | confirm);
+            });
+            if (any(agree_.data(), words_)) {
+                applyFixScatter(/*phase=*/true, base_a,
+                                agree_.data());
+                batch_detail::spans<Ops>(words_, [&](auto ops,
+                                                     int w) {
+                    using O = decltype(ops);
+                    O::store(confirm_.data() + w,
+                             O::load(confirm_.data() + w)
+                                 & ~O::load(agree_.data() + w));
+                });
+            }
+        }
+    }
+
+    /** eq_ := trials in m whose readout syndrome equals `value`. */
+    void
+    syndromeEquals(unsigned value, const Word *m)
+    {
+        batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+            using O = decltype(ops);
+            auto s0 = O::zero(), s1 = O::zero(), s2 = O::zero();
+            for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                const auto e = O::load(
+                    &meas_[static_cast<std::size_t>(q) * wv()] + w);
+                const unsigned col = static_cast<unsigned>(q) + 1;
+                if (col & 1u)
+                    s0 = s0 ^ e;
+                if (col & 2u)
+                    s1 = s1 ^ e;
+                if (col & 4u)
+                    s2 = s2 ^ e;
+            }
+            auto mismatch = s0 ^ ((value & 1u) ? ~O::zero()
+                                               : O::zero());
+            mismatch = mismatch
+                | (s1 ^ ((value & 2u) ? ~O::zero() : O::zero()));
+            mismatch = mismatch
+                | (s2 ^ ((value & 4u) ? ~O::zero() : O::zero()));
+            O::store(eq_.data() + w, ~mismatch & O::load(m + w));
+        });
+    }
+
+    /**
+     * Word-parallel residual classification of block A. For the
+     * Steane code with perfect decoding, the residual is logical iff
+     * parity(error) XOR (syndrome != 0): the correction flips one
+     * qubit exactly when the syndrome is non-trivial, and a
+     * trivial-syndrome residual is a stabilizer (even parity) or a
+     * logical representative (odd parity). A unit test checks this
+     * identity against SteaneCode::badCoset for all 128 patterns.
+     */
+    void
+    classifyTally(const Word *m)
+    {
+        if (!batch_detail::any(m, words_))
+            return;
+        batch_detail::spans<Ops>(words_, [&](auto ops, int w) {
+            using O = decltype(ops);
+            auto fail = O::zero();
+            for (int plane = 0; plane < 2; ++plane) {
+                auto parity = O::zero();
+                auto s0 = O::zero(), s1 = O::zero(), s2 = O::zero();
+                for (int q = 0; q < SteaneCode::numPhysical; ++q) {
+                    const auto e = O::load(
+                        (plane == 0
+                             ? frame_.x(batch_detail::blockA + q)
+                             : frame_.z(batch_detail::blockA + q))
+                        + w);
+                    parity = parity ^ e;
+                    const unsigned col = static_cast<unsigned>(q) + 1;
+                    if (col & 1u)
+                        s0 = s0 ^ e;
+                    if (col & 2u)
+                        s1 = s1 ^ e;
+                    if (col & 4u)
+                        s2 = s2 ^ e;
+                }
+                fail = fail | (parity ^ (s0 | s1 | s2));
+            }
+            O::store(measTmp_.data() + w, fail & O::load(m + w));
+        });
+        for (int w = 0; w < words_; ++w)
+            failures += static_cast<std::uint64_t>(
+                __builtin_popcountll(measTmp_[w]));
+    }
+
+    MovementModel movement_;
+    CorrectionSemantics semantics_;
+    int words_;
+    Rng rng_;
+    RareBernoulliStream pGate_;
+    RareBernoulliStream pMove_;
+    BatchPauliFrameT<Ops> frame_;
+
+    std::vector<Word> meas_; ///< 7 readout-flip planes (7 * words_)
+    std::vector<Word> active_;
+    std::vector<Word> pending_;
+    std::vector<Word> survivors_;
+    std::vector<Word> done_;
+    std::vector<Word> ok_;
+    std::vector<Word> prepMask_;
+    std::vector<Word> flip_;
+    std::vector<Word> measTmp_;
+    std::vector<Word> eq_;
+    std::vector<Word> parity_; ///< logical readout parity per trial
+    // Confirmed phase-correction state (syndrome bits + parity of
+    // the previous extraction, per trial).
+    std::vector<Word> confirm_; ///< trials awaiting confirmation
+    std::vector<Word> have_;    ///< trials with a previous readout
+    std::vector<Word> agree_;   ///< trials whose extractions agree
+    std::vector<Word> prevS0_;
+    std::vector<Word> prevS1_;
+    std::vector<Word> prevS2_;
+    std::vector<Word> prevP_;
+    std::vector<Word> coin_;
+};
+
+} // namespace qc
+
+#endif // QC_ERROR_BATCH_ENGINE_HH

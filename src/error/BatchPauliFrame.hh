@@ -4,12 +4,21 @@
  * transposition of PauliFrame.
  *
  * Where PauliFrame stores one trial as an X and a Z mask over 64
- * qubits, BatchPauliFrame stores, per qubit, `wordsPerQubit` 64-bit
+ * qubits, BatchPauliFrameT stores, per qubit, `wordsPerQubit` 64-bit
  * words whose bit t is the X (resp. Z) error of Monte Carlo trial t.
  * Every Clifford conjugation then advances 64*wordsPerQubit
  * independent trials with a handful of XOR/AND word operations and
  * no branches, which is the standard batched-frame layout from the
  * stabilizer-simulation literature.
+ *
+ * The class is templated on a simd::*Ops word-width policy (see
+ * common/simd/SimdOps.hh): the pure-bitwise masked Clifford loops
+ * are blocked by Ops::kLanes words per step (256/512-bit vectors
+ * under the matching target flags) with a scalar tail, while every
+ * RNG-consuming loop stays ordered per 64-bit word — which is what
+ * makes results bit-identical across every width including the
+ * scalar fallback. `BatchPauliFrame` aliases the 1-lane reference
+ * instantiation.
  *
  * All mutators take an active-trial mask (one word array of the
  * same width): bits outside the mask are left untouched, which is
@@ -17,10 +26,13 @@
  * correction-stage discards) run in lockstep — finished trials are
  * simply dropped from the mask while stragglers loop again.
  *
- * Error injection draws one Bernoulli(p) word per mask word via
- * BernoulliWord (~1 uniform draw in the common no-fault case) and
- * then fixes up only the hit trials, drawing the uniform Pauli kind
- * per set bit exactly as the scalar engine does.
+ * Error injection comes in two flavours: the original per-word
+ * BernoulliWord form (one uniform draw per *word*), and the
+ * RareBernoulliStream form the batch engine now uses (one uniform
+ * draw per *hit*, O(1) skip over hit-free injection sites). The
+ * stream form always advances over all words_ regardless of the
+ * mask — masked-out hits are discarded, they draw no Pauli kind —
+ * so the RNG stream is a pure function of the injection sequence.
  */
 
 #ifndef QC_ERROR_BATCH_PAULI_FRAME_HH
@@ -32,16 +44,18 @@
 #include <vector>
 
 #include "common/Rng.hh"
+#include "common/simd/SimdOps.hh"
 
 namespace qc {
 
 /** X/Z error bit-planes over numQubits x (64 * wordsPerQubit) trials. */
-class BatchPauliFrame
+template <class Ops = simd::WordOps>
+class BatchPauliFrameT
 {
   public:
     using Word = std::uint64_t;
 
-    BatchPauliFrame(int num_qubits, int words_per_qubit)
+    BatchPauliFrameT(int num_qubits, int words_per_qubit)
         : numQubits_(num_qubits), words_(words_per_qubit),
           xw_(static_cast<std::size_t>(num_qubits * words_per_qubit)),
           zw_(static_cast<std::size_t>(num_qubits * words_per_qubit))
@@ -79,7 +93,13 @@ class BatchPauliFrame
     {
         Word *xq = x(q);
         Word *zq = z(q);
-        for (int w = 0; w < words_; ++w) {
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes) {
+            const auto keep = ~Ops::load(m + w);
+            Ops::store(xq + w, Ops::load(xq + w) & keep);
+            Ops::store(zq + w, Ops::load(zq + w) & keep);
+        }
+        for (; w < words_; ++w) {
             xq[w] &= ~m[w];
             zq[w] &= ~m[w];
         }
@@ -90,7 +110,10 @@ class BatchPauliFrame
     flipX(int q, const Word *m)
     {
         Word *xq = x(q);
-        for (int w = 0; w < words_; ++w)
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes)
+            Ops::store(xq + w, Ops::load(xq + w) ^ Ops::load(m + w));
+        for (; w < words_; ++w)
             xq[w] ^= m[w];
     }
 
@@ -99,7 +122,10 @@ class BatchPauliFrame
     flipZ(int q, const Word *m)
     {
         Word *zq = z(q);
-        for (int w = 0; w < words_; ++w)
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes)
+            Ops::store(zq + w, Ops::load(zq + w) ^ Ops::load(m + w));
+        for (; w < words_; ++w)
             zq[w] ^= m[w];
     }
 
@@ -112,7 +138,15 @@ class BatchPauliFrame
     {
         Word *xq = x(q);
         Word *zq = z(q);
-        for (int w = 0; w < words_; ++w) {
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes) {
+            const auto xv = Ops::load(xq + w);
+            const auto zv = Ops::load(zq + w);
+            const auto diff = (xv ^ zv) & Ops::load(m + w);
+            Ops::store(xq + w, xv ^ diff);
+            Ops::store(zq + w, zv ^ diff);
+        }
+        for (; w < words_; ++w) {
             const Word diff = (xq[w] ^ zq[w]) & m[w];
             xq[w] ^= diff;
             zq[w] ^= diff;
@@ -125,7 +159,12 @@ class BatchPauliFrame
     {
         const Word *xq = x(q);
         Word *zq = z(q);
-        for (int w = 0; w < words_; ++w)
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes)
+            Ops::store(zq + w,
+                       Ops::load(zq + w)
+                           ^ (Ops::load(xq + w) & Ops::load(m + w)));
+        for (; w < words_; ++w)
             zq[w] ^= xq[w] & m[w];
     }
 
@@ -137,7 +176,15 @@ class BatchPauliFrame
         Word *xt = x(target);
         Word *zc = z(control);
         const Word *zt = z(target);
-        for (int w = 0; w < words_; ++w) {
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes) {
+            const auto mm = Ops::load(m + w);
+            Ops::store(xt + w,
+                       Ops::load(xt + w) ^ (Ops::load(xc + w) & mm));
+            Ops::store(zc + w,
+                       Ops::load(zc + w) ^ (Ops::load(zt + w) & mm));
+        }
+        for (; w < words_; ++w) {
             xt[w] ^= xc[w] & m[w];
             zc[w] ^= zt[w] & m[w];
         }
@@ -151,7 +198,15 @@ class BatchPauliFrame
         const Word *xb = x(b);
         Word *za = z(a);
         Word *zb = z(b);
-        for (int w = 0; w < words_; ++w) {
+        int w = 0;
+        for (; w + Ops::kLanes <= words_; w += Ops::kLanes) {
+            const auto mm = Ops::load(m + w);
+            Ops::store(zb + w,
+                       Ops::load(zb + w) ^ (Ops::load(xa + w) & mm));
+            Ops::store(za + w,
+                       Ops::load(za + w) ^ (Ops::load(xb + w) & mm));
+        }
+        for (; w < words_; ++w) {
             zb[w] ^= xa[w] & m[w];
             za[w] ^= xb[w] & m[w];
         }
@@ -166,6 +221,8 @@ class BatchPauliFrame
      * Uniform non-identity Pauli with probability p on qubit q, per
      * masked trial. One Bernoulli word per mask word; the Pauli kind
      * is drawn per hit trial (hits are rare at physical rates).
+     * Mask-all-zero words are skipped, so the RNG stream depends on
+     * the mask — kept for the original engine's stream and tests.
      */
     void
     inject1q(Rng &rng, BernoulliWord &p, int q, const Word *m)
@@ -218,6 +275,60 @@ class BatchPauliFrame
         }
     }
 
+    /**
+     * Stream-sampled single-qubit injection: the stream advances
+     * over all wordsPerQubit() words unconditionally (one uniform
+     * draw per hit bit, none otherwise); hits outside the mask are
+     * dropped without drawing a Pauli kind.
+     */
+    void
+    inject1q(Rng &rng, RareBernoulliStream &p, int q, const Word *m)
+    {
+        Word *xq = x(q);
+        Word *zq = z(q);
+        p.window(rng, words_, [&](int w, Word raw) {
+            Word hit = raw & m[w];
+            while (hit) {
+                const int t = __builtin_ctzll(hit);
+                hit &= hit - 1;
+                const int pauli =
+                    static_cast<int>(rng.below(3)) + 1;
+                if (pauli & 1)
+                    xq[w] ^= Word{1} << t;
+                if (pauli & 2)
+                    zq[w] ^= Word{1} << t;
+            }
+        });
+    }
+
+    /** Stream-sampled two-qubit injection (see inject1q). */
+    void
+    inject2q(Rng &rng, RareBernoulliStream &p, int a, int b,
+             const Word *m)
+    {
+        Word *xa = x(a);
+        Word *za = z(a);
+        Word *xb = x(b);
+        Word *zb = z(b);
+        p.window(rng, words_, [&](int w, Word raw) {
+            Word hit = raw & m[w];
+            while (hit) {
+                const int t = __builtin_ctzll(hit);
+                hit &= hit - 1;
+                const int pauli =
+                    static_cast<int>(rng.below(15)) + 1;
+                if (pauli & 1)
+                    xa[w] ^= Word{1} << t;
+                if (pauli & 2)
+                    za[w] ^= Word{1} << t;
+                if (pauli & 4)
+                    xb[w] ^= Word{1} << t;
+                if (pauli & 8)
+                    zb[w] ^= Word{1} << t;
+            }
+        });
+    }
+
     /** @} */
 
   private:
@@ -234,6 +345,9 @@ class BatchPauliFrame
     std::vector<Word> xw_;
     std::vector<Word> zw_;
 };
+
+/** The 1-lane reference instantiation (the original 64-bit path). */
+using BatchPauliFrame = BatchPauliFrameT<simd::WordOps>;
 
 } // namespace qc
 

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fault-site decision seam for the scalar ancilla simulator.
+ *
+ * Every stochastic fault site in AncillaPrepSimulator — gate-class
+ * sites (prep/1q/2q gate errors and measurement readout flips at
+ * pGate) and movement-class sites (straight moves and turns at
+ * pMove) — routes its fire/no-fire decision through a FaultOracle.
+ * The default (no oracle installed) draws the natural Bernoulli(p)
+ * with exactly the pre-seam RNG stream, so scalar results are
+ * unchanged. The importance sampler (error/ImportanceSampler.hh)
+ * installs oracles that first *count* the noiseless path's sites
+ * and then *schedule* an exact fixed fault count per trial.
+ *
+ * The pi/8 conversion's fair-coin fix-up branch also routes through
+ * the oracle (coin()): it is not a fault site, but the counting
+ * oracle must pin the branch that realizes the minimal site count
+ * so every realized path has at least as many sites per class as
+ * the count (the invariant the stratified estimator's conditional
+ * sampling rule relies on).
+ */
+
+#ifndef QC_ERROR_FAULT_ORACLE_HH
+#define QC_ERROR_FAULT_ORACLE_HH
+
+#include "common/Rng.hh"
+
+namespace qc {
+
+/** The two independently stratified fault classes. */
+enum class FaultClass
+{
+    Gate, ///< gate/prep/measurement error at pGate
+    Move, ///< movement (straight move or turn) error at pMove
+};
+
+/** Decision seam for the scalar simulator's stochastic sites. */
+class FaultOracle
+{
+  public:
+    virtual ~FaultOracle() = default;
+
+    /**
+     * Whether the next realized site of class `cls` (natural rate
+     * p) faults. Implementations that fault must leave `rng` ready
+     * for the caller's subsequent Pauli-kind draw.
+     */
+    virtual bool fault(Rng &rng, FaultClass cls, double p) = 0;
+
+    /**
+     * The pi/8 conditional fix-up coin (fair, not a fault site).
+     * Overridden by the counting oracle to pin the minimal-site
+     * branch.
+     */
+    virtual bool
+    coin(Rng &rng)
+    {
+        return rng.bernoulli(0.5);
+    }
+};
+
+} // namespace qc
+
+#endif // QC_ERROR_FAULT_ORACLE_HH

@@ -1,0 +1,310 @@
+#include "error/ImportanceSampler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace qc {
+
+namespace {
+
+/**
+ * Counting oracle: never faults, tallies the sites per class. With
+ * no faults the circuit follows its deterministic noiseless path,
+ * so the counts are the nominal-path site counts N_g and N_m. The
+ * pi/8 fix-up coin is pinned to the minimal-site branch (no
+ * fix-up) so the counts are a lower bound over every realized
+ * path — the invariant the scheduled oracle's conditional sampling
+ * rule needs.
+ */
+class CountingOracle final : public FaultOracle
+{
+  public:
+    bool
+    fault(Rng & /*rng*/, FaultClass cls, double /*p*/) override
+    {
+        if (cls == FaultClass::Gate)
+            ++gateSites;
+        else
+            ++moveSites;
+        return false;
+    }
+
+    bool coin(Rng & /*rng*/) override { return false; }
+
+    std::uint64_t gateSites = 0;
+    std::uint64_t moveSites = 0;
+};
+
+/**
+ * Scheduled oracle: plants exactly `target` faults of each class
+ * among the first `total` realized sites of that class, via the
+ * sequential r-of-m rule (fault with probability remaining/slots —
+ * a uniformly random subset of the slots, valid even though slots
+ * are revealed one at a time). Sites past the first `total` sample
+ * at their natural rate. beginTrial() rearms the schedule.
+ */
+class ScheduledOracle final : public FaultOracle
+{
+  public:
+    void
+    configure(std::uint64_t gate_sites, std::uint64_t move_sites,
+              int gate_faults, int move_faults)
+    {
+        cls_[0].total = gate_sites;
+        cls_[0].target = static_cast<std::uint64_t>(gate_faults);
+        cls_[1].total = move_sites;
+        cls_[1].target = static_cast<std::uint64_t>(move_faults);
+    }
+
+    void
+    beginTrial()
+    {
+        for (auto &c : cls_) {
+            c.visited = 0;
+            c.remaining = c.target;
+        }
+    }
+
+    bool
+    fault(Rng &rng, FaultClass cls, double p) override
+    {
+        auto &c = cls_[cls == FaultClass::Gate ? 0 : 1];
+        if (c.visited >= c.total)
+            return rng.bernoulli(p); // beyond the nominal sites
+        const std::uint64_t slots = c.total - c.visited;
+        ++c.visited;
+        if (c.remaining == 0)
+            return false;
+        if (rng.below(slots) < c.remaining) {
+            --c.remaining;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct ClassState
+    {
+        std::uint64_t total = 0;
+        std::uint64_t target = 0;
+        std::uint64_t visited = 0;
+        std::uint64_t remaining = 0;
+    };
+    ClassState cls_[2];
+};
+
+} // namespace
+
+double
+StratumEstimate::rate() const
+{
+    if (analytic || trials == 0)
+        return 0.0;
+    return static_cast<double>(failures)
+        / static_cast<double>(trials);
+}
+
+Interval
+StratumEstimate::interval() const
+{
+    if (analytic || trials == 0)
+        return {0.0, 0.0};
+    return wilsonInterval(failures, trials);
+}
+
+double
+StratifiedEstimate::errorRate() const
+{
+    double f = 0.0;
+    for (const StratumEstimate &s : strata)
+        f += s.prior * s.rate();
+    return f;
+}
+
+Interval
+StratifiedEstimate::errorInterval() const
+{
+    Interval ci{0.0, 0.0};
+    for (const StratumEstimate &s : strata) {
+        const Interval si = s.interval();
+        ci.lo += s.prior * si.lo;
+        ci.hi += s.prior * si.hi;
+    }
+    ci.hi = std::min(1.0, ci.hi + truncatedPrior);
+    return ci;
+}
+
+double
+StratifiedPrepSampler::binomialPmf(std::uint64_t n, double p,
+                                   std::uint64_t k)
+{
+    if (k > n)
+        return 0.0;
+    if (p <= 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    if (p >= 1.0)
+        return k == n ? 1.0 : 0.0;
+    // pmf(0) = (1-p)^n by repeated multiplication, then the ratio
+    // recurrence pmf(j+1) = pmf(j) * (n-j)/(j+1) * p/(1-p). Only
+    // +-*-/ so the result is bit-identical across platforms; for
+    // the subthreshold regime (n*p << 1) pmf(0) is ~1 and the
+    // recurrence loses nothing to underflow where it matters.
+    double pmf = 1.0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        pmf *= 1.0 - p;
+    const double ratio = p / (1.0 - p);
+    for (std::uint64_t j = 0; j < k; ++j)
+        pmf *= ratio * static_cast<double>(n - j)
+            / static_cast<double>(j + 1);
+    return pmf;
+}
+
+StratifiedPrepSampler::StratifiedPrepSampler(
+    ErrorParams errors, MovementModel movement, Rng seeder,
+    CorrectionSemantics semantics, int threads)
+    : errors_(errors), movement_(movement), semantics_(semantics),
+      seeder_(seeder), threads_(threads < 1 ? 1 : threads)
+{
+}
+
+StratifiedEstimate
+StratifiedPrepSampler::estimate(ZeroPrepStrategy strategy,
+                                const ImportanceConfig &config)
+{
+    return run(strategy, /*pi8=*/false, config);
+}
+
+StratifiedEstimate
+StratifiedPrepSampler::estimatePi8(const ImportanceConfig &config)
+{
+    return run(ZeroPrepStrategy::VerifyAndCorrect, /*pi8=*/true,
+               config);
+}
+
+StratifiedEstimate
+StratifiedPrepSampler::run(ZeroPrepStrategy strategy, bool pi8,
+                           const ImportanceConfig &config)
+{
+    if (config.maxFaults < 0)
+        throw std::invalid_argument(
+            "ImportanceConfig.maxFaults must be >= 0");
+
+    StratifiedEstimate out;
+
+    // Nominal-path site counts from a noiseless dry run. The
+    // counting oracle never consumes RNG, so the run is exactly the
+    // deterministic noiseless path.
+    {
+        CountingOracle counter;
+        AncillaPrepSimulator sim(errors_, movement_, /*seed=*/0,
+                                 semantics_);
+        sim.setFaultOracle(&counter);
+        if (pi8)
+            sim.simulatePi8Once();
+        else
+            sim.simulateOnce(strategy);
+        out.gateSites = counter.gateSites;
+        out.moveSites = counter.moveSites;
+    }
+
+    // Enumerate strata (a, b), a + b <= maxFaults, with their
+    // binomial priors; (0,0) is analytic. Total prior mass not
+    // covered (beyond the truncation order, above the per-class
+    // site count, or skipped as negligible) is the truncation tail.
+    double covered = 0.0;
+    for (int a = 0; a <= config.maxFaults; ++a) {
+        if (static_cast<std::uint64_t>(a) > out.gateSites)
+            break;
+        const double pa =
+            binomialPmf(out.gateSites, errors_.pGate,
+                        static_cast<std::uint64_t>(a));
+        for (int b = 0; a + b <= config.maxFaults; ++b) {
+            if (static_cast<std::uint64_t>(b) > out.moveSites)
+                break;
+            const double prior = pa
+                * binomialPmf(out.moveSites, errors_.pMove,
+                              static_cast<std::uint64_t>(b));
+            if (a + b > 0 && prior < config.minStratumPrior)
+                continue;
+            StratumEstimate s;
+            s.gateFaults = a;
+            s.moveFaults = b;
+            s.prior = prior;
+            s.analytic = a == 0 && b == 0;
+            covered += prior;
+            out.strata.push_back(s);
+        }
+    }
+    out.truncatedPrior = std::max(0.0, 1.0 - covered);
+
+    // Pre-split one seed per stratum so results are independent of
+    // the thread count, then shard strata across workers.
+    std::vector<std::uint64_t> seeds(out.strata.size());
+    for (auto &s : seeds)
+        s = seeder_();
+
+    struct Tally
+    {
+        std::uint64_t failures = 0;
+    };
+    std::vector<Tally> tallies(out.strata.size());
+
+    auto runStratum = [&](std::size_t i) {
+        StratumEstimate &s = out.strata[i];
+        if (s.analytic)
+            return;
+        s.trials = config.trialsPerStratum;
+        ScheduledOracle oracle;
+        oracle.configure(out.gateSites, out.moveSites, s.gateFaults,
+                         s.moveFaults);
+        AncillaPrepSimulator sim(errors_, movement_, seeds[i],
+                                 semantics_);
+        sim.setFaultOracle(&oracle);
+        std::uint64_t failures = 0;
+        for (std::uint64_t t = 0; t < s.trials; ++t) {
+            oracle.beginTrial();
+            const PrepOutcome o = pi8 ? sim.simulatePi8Once()
+                                      : sim.simulateOnce(strategy);
+            if (o.failed())
+                ++failures;
+        }
+        tallies[i].failures = failures;
+    };
+
+    const int threads = std::min<int>(
+        threads_, static_cast<int>(out.strata.size()) + 1);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < out.strata.size(); ++i)
+            runStratum(i);
+    } else {
+        // Strata are independent; a relaxed claim counter shards
+        // them (see BatchAncillaSim::run for the memory-order
+        // argument). Per-stratum tallies land in disjoint slots.
+        std::atomic<std::size_t> next{0};
+        auto work = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= out.strata.size())
+                    break;
+                runStratum(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(work);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (std::size_t i = 0; i < out.strata.size(); ++i) {
+        out.strata[i].failures = tallies[i].failures;
+        out.totalTrials += out.strata[i].trials;
+    }
+    return out;
+}
+
+} // namespace qc

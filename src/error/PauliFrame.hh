@@ -133,7 +133,7 @@ class PauliFrame
     {
         if (!rng.bernoulli(p))
             return;
-        applyPauli(static_cast<int>(rng.below(3)) + 1, q);
+        applyUniform1(rng, q);
     }
 
     /** Uniform non-identity two-qubit Pauli, with probability p. */
@@ -142,6 +142,25 @@ class PauliFrame
     {
         if (!rng.bernoulli(p))
             return;
+        applyUniform2(rng, a, b);
+    }
+
+    /**
+     * The hit path of inject1q without the Bernoulli decision:
+     * apply a uniformly drawn non-identity Pauli to q. Lets a
+     * fault oracle (error/FaultOracle.hh) own the fire/no-fire
+     * decision while the kind draw stays identical to inject1q.
+     */
+    void
+    applyUniform1(Rng &rng, int q)
+    {
+        applyPauli(static_cast<int>(rng.below(3)) + 1, q);
+    }
+
+    /** Two-qubit counterpart of applyUniform1 (inject2q's hit path). */
+    void
+    applyUniform2(Rng &rng, int a, int b)
+    {
         const int pauli = static_cast<int>(rng.below(15)) + 1;
         applyPauli(pauli & 3, a);
         applyPauli(pauli >> 2, b);

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * 128-bit engine (VecOps<2>): lowers to SSE2 on x86-64's baseline
+ * target, NEON on aarch64 — no extra target flags needed.
+ */
+
+#include "error/simd/BatchEngineWidths.hh"
+
+namespace qc::batch_widths {
+
+std::unique_ptr<BatchWorkerBase>
+makeW128(const ErrorParams &errors, const MovementModel &movement,
+         CorrectionSemantics semantics, int words)
+{
+    return std::make_unique<BatchWorkerT<simd::VecOps<2>>>(
+        errors, movement, semantics, words);
+}
+
+} // namespace qc::batch_widths

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * 256-bit engine (VecOps<4>). CMake compiles this translation unit
+ * with -mavx2 where the toolchain supports it (and then defines
+ * QC_SIMD_W256_ISA="avx2" on SimdDispatch.cc so dispatch refuses
+ * the width on CPUs that cannot execute it). Without the flag the
+ * compiler splits the vectors into 128-bit halves — correct, just
+ * narrower.
+ */
+
+#include "error/simd/BatchEngineWidths.hh"
+
+namespace qc::batch_widths {
+
+std::unique_ptr<BatchWorkerBase>
+makeW256(const ErrorParams &errors, const MovementModel &movement,
+         CorrectionSemantics semantics, int words)
+{
+    return std::make_unique<BatchWorkerT<simd::VecOps<4>>>(
+        errors, movement, semantics, words);
+}
+
+} // namespace qc::batch_widths

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * 512-bit engine (VecOps<8>). CMake compiles this translation unit
+ * with -mavx512f where supported (see BatchEngine256.cc for the
+ * dispatch-safety handshake).
+ */
+
+#include "error/simd/BatchEngineWidths.hh"
+
+namespace qc::batch_widths {
+
+std::unique_ptr<BatchWorkerBase>
+makeW512(const ErrorParams &errors, const MovementModel &movement,
+         CorrectionSemantics semantics, int words)
+{
+    return std::make_unique<BatchWorkerT<simd::VecOps<8>>>(
+        errors, movement, semantics, words);
+}
+
+} // namespace qc::batch_widths

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * 64-bit reference engine (plain uint64_t words) — the pre-SIMD
+ * path every wider width must match bit for bit.
+ */
+
+#include "error/simd/BatchEngineWidths.hh"
+
+namespace qc::batch_widths {
+
+std::unique_ptr<BatchWorkerBase>
+makeW64(const ErrorParams &errors, const MovementModel &movement,
+        CorrectionSemantics semantics, int words)
+{
+    return std::make_unique<BatchWorkerT<simd::WordOps>>(
+        errors, movement, semantics, words);
+}
+
+} // namespace qc::batch_widths

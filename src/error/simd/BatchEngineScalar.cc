@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Portable scalar-fallback engine (ScalarOps<4>): same 4-word
+ * blocking as the 256-bit path with no vector types at all. The CI
+ * width matrix runs this leg to prove results do not depend on the
+ * vector extension path.
+ */
+
+#include "error/simd/BatchEngineWidths.hh"
+
+namespace qc::batch_widths {
+
+std::unique_ptr<BatchWorkerBase>
+makeScalar(const ErrorParams &errors, const MovementModel &movement,
+           CorrectionSemantics semantics, int words)
+{
+    return std::make_unique<BatchWorkerT<simd::ScalarOps<4>>>(
+        errors, movement, semantics, words);
+}
+
+} // namespace qc::batch_widths

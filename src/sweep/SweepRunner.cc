@@ -162,8 +162,9 @@ class McPrepRunner : public SweepRunner
     std::vector<std::string>
     fields() const override
     {
-        return {"pGate", "pMove", "seed", "semantics", "strategy",
-                "trials", "wordsPerQubit"};
+        return {"maxFaults", "pGate", "pMove", "sampler", "seed",
+                "semantics", "strategy", "trials",
+                "trialsPerStratum", "width", "wordsPerQubit"};
     }
 
     Json
@@ -197,23 +198,68 @@ class McPrepRunner : public SweepRunner
         // own thread counts anyway; this keeps a point's cost
         // independent of the pool size.)
         batch.threads = 1;
+        // SIMD width of the batch engine. Every width is
+        // bit-identical, so this (like QC_FORCE_WIDTH, which
+        // overrides "auto") never shows up in the results.
+        const std::string widthKey =
+            config.getString("width", "auto");
+        if (!simd::parseWidth(widthKey, &batch.width))
+            throw std::invalid_argument(
+                "unknown mc-prep width \"" + widthKey + "\"");
 
         // Movement charges calibrated from the routed Fig 11
         // layout — identical for every point, so computed once.
         static const MovementModel movement = calibrateMovement(
             buildSimpleFactory(), IonTrapParams::paper());
 
-        BatchAncillaSim sim(errors, movement, seed, semantics,
-                            batch);
-        const PrepEstimate est = strategy.pi8
-            ? sim.estimatePi8(trials)
-            : sim.estimate(strategy.strategy, trials);
-        const Interval ci = est.errorInterval();
-
         const ErrorParams paper = ErrorParams::paper();
         Json out = Json::object();
         out.set("paper_point", errors.pGate == paper.pGate
                                    && errors.pMove == paper.pMove);
+
+        BatchAncillaSim sim(errors, movement, seed, semantics,
+                            batch);
+
+        const std::string sampler =
+            config.getString("sampler", "naive");
+        if (sampler == "stratified") {
+            // Rare-event importance sampling (see
+            // error/ImportanceSampler.hh): tight CIs at
+            // deep-subthreshold points where `trials` naive trials
+            // would record zero failures.
+            ImportanceConfig ic;
+            ic.maxFaults = static_cast<int>(
+                config.getInt("maxFaults", ic.maxFaults));
+            ic.trialsPerStratum = static_cast<std::uint64_t>(
+                config.getInt("trialsPerStratum",
+                              static_cast<std::int64_t>(
+                                  ic.trialsPerStratum)));
+            const StratifiedEstimate est = strategy.pi8
+                ? sim.estimateStratifiedPi8(ic)
+                : sim.estimateStratified(strategy.strategy, ic);
+            const Interval ci = est.errorInterval();
+            out.set("error_rate", est.errorRate());
+            out.set("ci_lo", ci.lo);
+            out.set("ci_hi", ci.hi);
+            out.set("gate_sites",
+                    static_cast<std::int64_t>(est.gateSites));
+            out.set("move_sites",
+                    static_cast<std::int64_t>(est.moveSites));
+            out.set("strata",
+                    static_cast<std::int64_t>(est.strata.size()));
+            out.set("truncated_prior", est.truncatedPrior);
+            out.set("trials", est.totalTrials);
+            return out;
+        }
+        if (sampler != "naive")
+            throw std::invalid_argument(
+                "unknown mc-prep sampler \"" + sampler
+                + "\"; expected naive or stratified");
+
+        const PrepEstimate est = strategy.pi8
+            ? sim.estimatePi8(trials)
+            : sim.estimate(strategy.strategy, trials);
+        const Interval ci = est.errorInterval();
         out.set("error_rate", est.errorRate());
         out.set("ci_lo", ci.lo);
         out.set("ci_hi", ci.hi);

@@ -1,0 +1,9 @@
+// qclint-fixture: path=src/error/FastEngine.cc
+// qclint-fixture: expect=simd-seam:4, simd-seam:8
+// Intrinsics header outside the dispatch seam:
+#include <immintrin.h>
+
+bool wide() {
+    // CPU-feature query outside the dispatch seam:
+    return __builtin_cpu_supports("avx2");
+}

@@ -1,0 +1,5 @@
+// qclint-fixture: path=src/common/simd/SimdDispatch.cc
+// qclint-fixture: expect=clean
+// The dispatch seam is the one TU allowed to query CPU features.
+
+bool cpuHas() { return __builtin_cpu_supports("avx512f"); }

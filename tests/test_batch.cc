@@ -7,9 +7,13 @@
  * reference engine, and bit-reproducibility across thread counts.
  */
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
 
 #include "codes/SteaneCode.hh"
 #include "common/Stats.hh"
@@ -402,6 +406,207 @@ TEST(BatchAncillaSim, Pi8BitReproducibleAcrossThreadCounts)
         results[i] = sim.estimatePi8(200000);
     }
     EXPECT_TRUE(sameEstimate(results[0], results[1]));
+}
+
+// ---------------------------------------------------------------
+// RareBernoulliStream: the geometric-renewal bit stream feeding
+// the batch injection sites.
+// ---------------------------------------------------------------
+
+TEST(RareBernoulliStream, EdgeProbabilities)
+{
+    Rng rng(2);
+    RareBernoulliStream never(0.0);
+    never.reset(rng);
+    never.window(rng, 8, [](int, std::uint64_t) { FAIL(); });
+
+    RareBernoulliStream always(1.0);
+    always.reset(rng);
+    int visited = 0;
+    always.window(rng, 8, [&](int w, std::uint64_t bits) {
+        EXPECT_EQ(w, visited++);
+        EXPECT_EQ(bits, ~std::uint64_t{0});
+    });
+    EXPECT_EQ(visited, 8);
+}
+
+TEST(RareBernoulliStream, MeanMatchesPAcrossScales)
+{
+    for (double p : {0.3, 0.02, 1e-3, 1e-5}) {
+        Rng rng(0x5eed);
+        RareBernoulliStream stream(p);
+        stream.reset(rng);
+        const int words = 64;
+        const std::uint64_t windows =
+            p >= 1e-3 ? 2000 : 200000;
+        std::uint64_t ones = 0;
+        for (std::uint64_t i = 0; i < windows; ++i) {
+            stream.window(rng, words, [&](int, std::uint64_t bits) {
+                ones += static_cast<std::uint64_t>(
+                    __builtin_popcountll(bits));
+            });
+        }
+        const std::uint64_t total = windows * 64ull * words;
+        const double mean =
+            static_cast<double>(ones) / static_cast<double>(total);
+        const double sigma =
+            std::sqrt(p * (1 - p) / static_cast<double>(total));
+        EXPECT_NEAR(mean, p, 5 * sigma + 1e-12) << "p=" << p;
+    }
+}
+
+TEST(RareBernoulliStream, WindowPartitionDoesNotChangeTheStream)
+{
+    // The stream is a renewal process over a flat bit sequence:
+    // chopping it into differently sized windows must reproduce
+    // the exact same bit positions (this is what makes the batch
+    // engine's RNG consumption independent of batch shape).
+    const double p = 0.01;
+    const int total_words = 96;
+    std::vector<std::uint64_t> reference(total_words, 0);
+    {
+        Rng rng(77);
+        RareBernoulliStream stream(p);
+        stream.reset(rng);
+        stream.window(rng, total_words,
+                      [&](int w, std::uint64_t bits) {
+                          reference[static_cast<std::size_t>(w)] =
+                              bits;
+                      });
+    }
+    for (int chunk : {1, 3, 32}) {
+        Rng rng(77);
+        RareBernoulliStream stream(p);
+        stream.reset(rng);
+        std::vector<std::uint64_t> got(total_words, 0);
+        for (int base = 0; base < total_words; base += chunk) {
+            const int words =
+                std::min(chunk, total_words - base);
+            stream.window(rng, words,
+                          [&](int w, std::uint64_t bits) {
+                              got[static_cast<std::size_t>(
+                                  base + w)] = bits;
+                          });
+        }
+        EXPECT_EQ(got, reference) << "chunk=" << chunk;
+    }
+}
+
+// ---------------------------------------------------------------
+// SIMD width dispatch: every width is the same engine.
+// ---------------------------------------------------------------
+
+TEST(SimdWidth, ParseAndNameRoundTrip)
+{
+    for (simd::Width w :
+         {simd::Width::Auto, simd::Width::Scalar, simd::Width::W64,
+          simd::Width::W128, simd::Width::W256, simd::Width::W512}) {
+        simd::Width parsed;
+        ASSERT_TRUE(simd::parseWidth(simd::widthName(w), &parsed));
+        EXPECT_EQ(parsed, w);
+    }
+    simd::Width parsed;
+    EXPECT_TRUE(simd::parseWidth("scalar-fallback", &parsed));
+    EXPECT_EQ(parsed, simd::Width::Scalar);
+    EXPECT_FALSE(simd::parseWidth("wide", &parsed));
+    EXPECT_FALSE(simd::parseWidth("", &parsed));
+}
+
+TEST(SimdWidth, ResolveHonorsForceEnvAndRejectsJunk)
+{
+    ASSERT_EQ(setenv("QC_FORCE_WIDTH", "128", 1), 0);
+    EXPECT_EQ(simd::resolveWidth(simd::Width::Auto),
+              simd::Width::W128);
+    ASSERT_EQ(setenv("QC_FORCE_WIDTH", "bogus", 1), 0);
+    EXPECT_THROW(simd::resolveWidth(simd::Width::Auto),
+                 std::runtime_error);
+    ASSERT_EQ(unsetenv("QC_FORCE_WIDTH"), 0);
+    // An explicit width wins over the environment.
+    EXPECT_EQ(simd::resolveWidth(simd::Width::W64),
+              simd::Width::W64);
+    // Auto resolves to something the machine can actually run.
+    EXPECT_TRUE(
+        simd::widthSupported(simd::resolveWidth(simd::Width::Auto)));
+}
+
+/**
+ * The tentpole invariant: every SIMD width — scalar fallback
+ * included — produces bit-identical tallies over the full
+ * estimate / estimatePi8 surface, because all RNG consumption is
+ * ordered per 64-bit stream word and only pure-bitwise loops are
+ * blocked by the lane count.
+ */
+TEST(SimdWidth, CrossWidthBitIdentityOverFullSurface)
+{
+    const simd::Width widths[] = {
+        simd::Width::Scalar, simd::Width::W64, simd::Width::W128,
+        simd::Width::W256, simd::Width::W512};
+    for (auto semantics :
+         {CorrectionSemantics::DiscardOnSyndrome,
+          CorrectionSemantics::ApplyFix}) {
+        for (auto strat :
+             {ZeroPrepStrategy::Basic,
+              ZeroPrepStrategy::VerifyAndCorrect}) {
+            PrepEstimate ref, refPi8;
+            bool first = true;
+            for (simd::Width w : widths) {
+                if (!simd::widthSupported(w))
+                    continue;
+                BatchSimConfig config;
+                config.width = w;
+                BatchAncillaSim sim(ErrorParams::paper(),
+                                    MovementModel{}, 0x51dd,
+                                    semantics, config);
+                EXPECT_EQ(sim.resolvedWidth(), w);
+                const PrepEstimate est =
+                    sim.estimate(strat, 150000);
+                const PrepEstimate pi8 = sim.estimatePi8(50000);
+                if (first) {
+                    ref = est;
+                    refPi8 = pi8;
+                    first = false;
+                    continue;
+                }
+                EXPECT_TRUE(sameEstimate(ref, est))
+                    << zeroPrepStrategyName(strat) << " width "
+                    << simd::widthName(w);
+                EXPECT_TRUE(sameEstimate(refPi8, pi8))
+                    << "pi8 width " << simd::widthName(w);
+            }
+        }
+    }
+}
+
+TEST(SimdWidth, OddBatchShapesStayBitIdenticalAcrossWidths)
+{
+    // Word counts that leave a scalar tail at every vector width
+    // (words % kLanes != 0) must not change results either.
+    for (int words : {1, 3, 7}) {
+        PrepEstimate ref;
+        bool first = true;
+        for (simd::Width w :
+             {simd::Width::W64, simd::Width::Scalar,
+              simd::Width::W256, simd::Width::W512}) {
+            if (!simd::widthSupported(w))
+                continue;
+            BatchSimConfig config;
+            config.width = w;
+            config.wordsPerQubit = words;
+            BatchAncillaSim sim(
+                ErrorParams::paper(), MovementModel{}, 0xbee,
+                CorrectionSemantics::DiscardOnSyndrome, config);
+            const PrepEstimate est = sim.estimate(
+                ZeroPrepStrategy::VerifyAndCorrect, 20000);
+            if (first) {
+                ref = est;
+                first = false;
+                continue;
+            }
+            EXPECT_TRUE(sameEstimate(ref, est))
+                << "words=" << words << " width "
+                << simd::widthName(w);
+        }
+    }
 }
 
 } // namespace

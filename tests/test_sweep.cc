@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <stdexcept>
@@ -425,6 +426,99 @@ TEST(SweepRunners, McPrepPointMatchesDirectBatchSim)
     EXPECT_DOUBLE_EQ(point.at("verify_fail_rate").asDouble(),
                      est.discardRate());
     EXPECT_FALSE(point.at("paper_point").asBool());
+}
+
+TEST(SweepRunners, McPrepStratifiedPointMatchesDirectSampler)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"sampler": "stratified", "maxFaults": 3,
+               "trialsPerStratum": 5000, "seed": 20080623,
+               "strategy": "verify_and_correct",
+               "pGate": 1e-5, "pMove": 1e-7}
+    })"));
+    const SweepReport report = runSweep(spec);
+    ASSERT_EQ(report.points, 1u);
+    const Json &point = report.doc.at("points").at(0);
+
+    const MovementModel movement = calibrateMovement(
+        buildSimpleFactory(), IonTrapParams::paper());
+    ErrorParams errors;
+    errors.pGate = 1e-5;
+    errors.pMove = 1e-7;
+    BatchAncillaSim sim(errors, movement, 20080623);
+    ImportanceConfig config;
+    config.maxFaults = 3;
+    config.trialsPerStratum = 5000;
+    const StratifiedEstimate est = sim.estimateStratified(
+        ZeroPrepStrategy::VerifyAndCorrect, config);
+    const Interval ci = est.errorInterval();
+    EXPECT_DOUBLE_EQ(point.at("error_rate").asDouble(),
+                     est.errorRate());
+    EXPECT_DOUBLE_EQ(point.at("ci_lo").asDouble(), ci.lo);
+    EXPECT_DOUBLE_EQ(point.at("ci_hi").asDouble(), ci.hi);
+    EXPECT_EQ(point.at("gate_sites").asInt(),
+              static_cast<std::int64_t>(est.gateSites));
+    EXPECT_EQ(point.at("move_sites").asInt(),
+              static_cast<std::int64_t>(est.moveSites));
+    EXPECT_DOUBLE_EQ(point.at("truncated_prior").asDouble(),
+                     est.truncatedPrior);
+}
+
+TEST(SweepRunners, McPrepForcedWidthMatchesAutoByteForByte)
+{
+    // The runner deliberately omits the width from its output:
+    // every width is bit-identical, so the serialized report must
+    // not change when one is forced.
+    const char *base = R"({
+      "runner": "mc-prep",
+      "base": {"trials": 50000, "seed": 7,
+               "strategy": "basic", "pGate": 1e-3%s}
+    })";
+    char autoSpec[512], forcedSpec[512];
+    std::snprintf(autoSpec, sizeof autoSpec, base, "");
+    std::snprintf(forcedSpec, sizeof forcedSpec, base,
+                  ", \"width\": \"scalar-fallback\"");
+    const SweepReport a =
+        runSweep(SweepSpec::fromJson(parse(autoSpec)));
+    const SweepReport b =
+        runSweep(SweepSpec::fromJson(parse(forcedSpec)));
+    const Json &pa = a.doc.at("points").at(0);
+    const Json &pb = b.doc.at("points").at(0);
+    // Every result key is identical; only the config hash (which
+    // covers the width field itself) may differ.
+    for (const auto &[key, value] : pa.items()) {
+        if (key == "config_hash")
+            continue;
+        ASSERT_TRUE(pb.has(key)) << key;
+        EXPECT_EQ(value.dump(), pb.at(key).dump()) << key;
+    }
+    EXPECT_EQ(pa.items().size(), pb.items().size());
+}
+
+TEST(SweepRunners, McPrepRejectsUnknownSamplerAndWidth)
+{
+    // Per-point failures surface as an "error" key on the point,
+    // not as an exception out of the engine.
+    const SweepReport badSampler =
+        runSweep(SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 10, "sampler": "metropolis"}
+    })")));
+    const Json &p0 = badSampler.doc.at("points").at(0);
+    ASSERT_TRUE(p0.has("error"));
+    EXPECT_NE(p0.at("error").asString().find("sampler"),
+              std::string::npos);
+
+    const SweepReport badWidth =
+        runSweep(SweepSpec::fromJson(parse(R"({
+      "runner": "mc-prep",
+      "base": {"trials": 10, "width": "wide"}
+    })")));
+    const Json &p1 = badWidth.doc.at("points").at(0);
+    ASSERT_TRUE(p1.has("error"));
+    EXPECT_NE(p1.at("error").asString().find("width"),
+              std::string::npos);
 }
 
 TEST(SweepRunners, ExperimentPointMatchesRunExperiment)

@@ -39,11 +39,14 @@ import sys
 # a 20% band would.)
 PERF_KEY = re.compile(r"_per_sec$")
 
-# Machine/bookkeeping noise: never compared. `speedup` is the ratio
-# of two gated rates — checking it too would double-count noise
-# (a fast scalar baseline run reads as a "batch regression").
+# Machine/bookkeeping noise: never compared. `speedup*` keys are
+# ratios of two gated rates — checking them too would double-count
+# noise (a fast scalar baseline run reads as a "batch regression").
+# `dispatched_*` records which SIMD width/ISA auto-dispatch picked
+# on the bench machine, a hardware fact, not a result.
 IGNORE_KEY = re.compile(
-    r"(^wall_seconds$|^hardware_concurrency$|^speedup$)")
+    r"(^wall_seconds$|^hardware_concurrency$|^speedup"
+    r"|^dispatched_)")
 
 
 def classify(key):

@@ -47,6 +47,15 @@ Rules (each waivable, see below):
                 host locale with ',' decimal points cannot change
                 serialized bytes.
 
+  simd-seam     intrinsics headers (immintrin.h / x86intrin.h /
+                arm_neon.h) or __builtin_cpu_supports outside the
+                dispatch seam (src/common/simd/SimdDispatch.cc).
+                Engine code widens through the portable SimdOps
+                vector-extension types; CPU-feature queries live in
+                the one TU whose ISA requirements CMake keeps in
+                sync with the per-width engine files, so a forced
+                width can fail loudly instead of hitting SIGILL.
+
 Waivers: a finding is suppressed by a comment on the same line or
 the line directly above it:
 
@@ -157,6 +166,17 @@ RULES = [
         [],
         "locale-dependent float formatting changes serialized "
         "bytes; use std::to_chars/std::from_chars",
+    ),
+    Rule(
+        "simd-seam",
+        r"(?:\bimmintrin\.h\b|\bx86intrin\.h\b|\barm_neon\.h\b"
+        r"|\b__builtin_cpu_supports\b)",
+        None,
+        ["src/common/simd/SimdDispatch.cc"],
+        "intrinsics headers and CPU-feature queries belong to the "
+        "SIMD dispatch seam (src/common/simd/SimdDispatch.cc); "
+        "engine code uses the portable SimdOps types so every "
+        "width stays bit-identical and buildable everywhere",
     ),
 ]
 
