@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared plumbing for the fuzz harnesses (fuzz/fuzz_*.cc): a
+ * temp-directory sandbox for harnesses that exercise on-disk
+ * surfaces (lease files, hoard objects), and a structured splitter
+ * that carves one fuzz input into several independent sections so
+ * a single harness can drive a multi-file protocol surface.
+ *
+ * Harnesses signal a violated property with QC_FUZZ_ASSERT, which
+ * aborts — both libFuzzer and the standalone replay driver
+ * (StandaloneFuzzMain.cc) report the crashing input. Expected
+ * rejections of malformed input (std::invalid_argument from a
+ * parser) are *not* findings; harnesses catch those and return.
+ */
+
+#ifndef QC_FUZZ_FUZZ_UTIL_HH
+#define QC_FUZZ_FUZZ_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qcfuzz {
+
+#define QC_FUZZ_ASSERT(cond, what)                                  \
+    do {                                                            \
+        if (!(cond)) {                                              \
+            std::fprintf(stderr, "fuzz property violated: %s\n",    \
+                         what);                                     \
+            std::abort();                                           \
+        }                                                           \
+    } while (0)
+
+/**
+ * A fresh directory under TMPDIR, recursively removed on scope
+ * exit. Harnesses that mutate store/protocol state create one per
+ * input so no state leaks between fuzzer iterations.
+ */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        const char *base = std::getenv("TMPDIR");
+        std::string pattern = std::string(base ? base : "/tmp")
+                              + "/qcfuzz.XXXXXX";
+        std::vector<char> buf(pattern.begin(), pattern.end());
+        buf.push_back('\0');
+        if (!::mkdtemp(buf.data())) {
+            std::perror("mkdtemp");
+            std::abort();
+        }
+        path_ = buf.data();
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+inline std::string
+toString(const std::uint8_t *data, std::size_t size)
+{
+    return std::string(reinterpret_cast<const char *>(data), size);
+}
+
+/**
+ * Split the input on NUL bytes into exactly `sections` strings
+ * (missing trailing sections come back empty, extra NULs stay in
+ * the last section). NUL is a natural delimiter here: none of the
+ * fuzzed text surfaces (JSON, env values, spec strings) carries
+ * embedded NULs in valid inputs, and env vars cannot.
+ */
+inline std::vector<std::string>
+splitSections(const std::uint8_t *data, std::size_t size,
+              std::size_t sections)
+{
+    std::vector<std::string> out(sections);
+    std::size_t start = 0;
+    for (std::size_t s = 0; s + 1 < sections; ++s) {
+        const void *nul =
+            start < size ? std::memchr(data + start, 0, size - start)
+                         : nullptr;
+        if (!nul) {
+            out[s].assign(
+                reinterpret_cast<const char *>(data) + start,
+                size - start);
+            start = size;
+            continue;
+        }
+        const std::size_t end = static_cast<std::size_t>(
+            static_cast<const std::uint8_t *>(nul) - data);
+        out[s].assign(reinterpret_cast<const char *>(data) + start,
+                      end - start);
+        start = end + 1;
+    }
+    out[sections - 1].assign(
+        reinterpret_cast<const char *>(data) + start, size - start);
+    return out;
+}
+
+inline void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+}
+
+} // namespace qcfuzz
+
+#endif // QC_FUZZ_FUZZ_UTIL_HH

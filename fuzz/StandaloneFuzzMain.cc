@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Replay driver for the fuzz harnesses when libFuzzer is
+ * unavailable (GCC builds, and the normal Release build's
+ * fuzz_corpus_replay ctest entries). Each argument is a corpus
+ * file — or a directory of them, walked in sorted order so replay
+ * is deterministic — fed once to LLVMFuzzerTestOneInput. A
+ * violated harness property aborts exactly as it would under
+ * libFuzzer, after naming the input being replayed.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+replayFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::fprintf(stderr, "replay %s (%zu bytes)\n", path.c_str(),
+                 bytes.size());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()),
+        bytes.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+        return 2;
+    }
+    std::size_t replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::error_code ec;
+        if (fs::is_directory(argv[i], ec)) {
+            std::vector<std::string> files;
+            for (const fs::directory_entry &entry :
+                 fs::directory_iterator(argv[i], ec)) {
+                if (entry.is_regular_file(ec))
+                    files.push_back(entry.path().string());
+            }
+            std::sort(files.begin(), files.end());
+            for (const std::string &file : files) {
+                if (!replayFile(file))
+                    return 1;
+                ++replayed;
+            }
+        } else {
+            if (!replayFile(argv[i]))
+                return 1;
+            ++replayed;
+        }
+    }
+    std::fprintf(stderr, "replayed %zu input(s), all clean\n",
+                 replayed);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fuzz the hoard store's on-disk trust boundary. Two sections:
+ * a store version marker (ROOT/hoard.json) and an object file
+ * body planted at the key the fixed probe config resolves to.
+ *
+ *  - A hostile marker must either open (it really is this
+ *    version) or throw std::invalid_argument — nothing else;
+ *  - fetch() over a hostile object must never throw: it either
+ *    misses (and the object is quarantined out of the store) or
+ *    hits with exactly the stored result — in which case the
+ *    object survived full validation and a second fetch agrees.
+ */
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "api/Json.hh"
+#include "fuzz/FuzzUtil.hh"
+#include "hoard/HoardStore.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const auto sections = qcfuzz::splitSections(data, size, 2);
+    const qcfuzz::TempDir tmp;
+    const std::string root = tmp.path() + "/hoard";
+
+    if (!sections[0].empty()) {
+        std::filesystem::create_directories(root);
+        qcfuzz::writeFile(root + "/hoard.json", sections[0]);
+    }
+    qc::Json config = qc::Json::object();
+    config.set("workload", "qrca");
+    config.set("bits", 8);
+
+    try {
+        qc::HoardStore store(root);
+
+        const std::string key =
+            qc::HoardStore::keyFor("experiment", config);
+        const std::string objectPath = store.objectPath(key);
+        std::filesystem::create_directories(
+            std::filesystem::path(objectPath).parent_path());
+        qcfuzz::writeFile(objectPath, sections[1]);
+
+        qc::Json result;
+        const bool hit =
+            store.fetch("experiment", config, result);
+        if (hit) {
+            // Only a fully valid object may hit — and validity is
+            // stable: the same fetch again returns the same bytes.
+            qc::Json again;
+            QC_FUZZ_ASSERT(
+                store.fetch("experiment", config, again),
+                "hit followed by miss with no intervening write");
+            QC_FUZZ_ASSERT(again.dump(0) == result.dump(0),
+                           "two fetches returned different results");
+        } else {
+            // A miss on a planted object must have quarantined it:
+            // the poisoned file may not stay on the hit path.
+            QC_FUZZ_ASSERT(
+                !std::filesystem::exists(objectPath),
+                "invalid object left in place after a miss");
+            qc::Json again;
+            QC_FUZZ_ASSERT(
+                !store.fetch("experiment", config, again),
+                "miss followed by hit with no intervening write");
+        }
+    } catch (const std::invalid_argument &) {
+        return 0; // marker rejected cleanly
+    }
+    return 0;
+}

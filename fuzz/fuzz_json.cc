@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fuzz the JSON parser — the trust boundary every untrusted file
+ * in the system crosses first. Properties on accepted documents:
+ *
+ *  - dump() must reparse (the serializer emits what the parser
+ *    accepts), at indent 0 and 2;
+ *  - the reparse must compare equal and hash identically (the
+ *    sweep memo and the hoard key derivation depend on dump/parse
+ *    being a fixed point);
+ *  - a second dump must be byte-identical (determinism).
+ *
+ * Rejection (std::invalid_argument) is the expected outcome for
+ * malformed input and is never a finding; anything else that
+ * escapes parse() is.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include "api/Json.hh"
+#include "fuzz/FuzzUtil.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string text = qcfuzz::toString(data, size);
+    qc::Json parsed;
+    try {
+        parsed = qc::Json::parse(text);
+    } catch (const std::invalid_argument &) {
+        return 0; // rejected cleanly: not a finding
+    }
+
+    const std::string pretty = parsed.dump(2);
+    const std::string compact = parsed.dump(0);
+    qc::Json fromPretty;
+    qc::Json fromCompact;
+    try {
+        fromPretty = qc::Json::parse(pretty);
+        fromCompact = qc::Json::parse(compact);
+    } catch (const std::invalid_argument &) {
+        QC_FUZZ_ASSERT(false, "dump() emitted unparseable JSON");
+    }
+    QC_FUZZ_ASSERT(fromPretty == parsed,
+                   "pretty round-trip changed the value");
+    QC_FUZZ_ASSERT(fromCompact == parsed,
+                   "compact round-trip changed the value");
+    QC_FUZZ_ASSERT(fromPretty.hash() == parsed.hash(),
+                   "round-trip changed the content hash");
+    QC_FUZZ_ASSERT(fromPretty.dump(2) == pretty,
+                   "second dump not byte-identical");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fuzz resume-document replay: a hostile --resume file against a
+ * fixed known-good spec must either be rejected with
+ * std::invalid_argument or replay cleanly — and whatever it
+ * replayed, the assembler's document() must still serialize. The
+ * matching logic (canonical config + assignment + config_hash
+ * cross-check) is exactly the code a corrupted checkpoint hits on
+ * restart.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include "api/Json.hh"
+#include "fuzz/FuzzUtil.hh"
+#include "sweep/SweepPlan.hh"
+#include "sweep/SweepSpec.hh"
+
+namespace {
+
+const qc::SweepSpec &
+fixedSpec()
+{
+    static const qc::SweepSpec spec = qc::SweepSpec::fromJson(
+        qc::Json::parse(R"({
+            "name": "fuzz_resume",
+            "runner": "experiment",
+            "base": {"workload": "qrca", "bits": 8},
+            "axes": [
+                {"field": "schedule",
+                 "values": ["speed-of-data", "arch"]},
+                {"field": "codeLevel", "values": [1, 2]}
+            ]
+        })"));
+    return spec;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    qc::Json doc;
+    try {
+        doc = qc::Json::parse(qcfuzz::toString(data, size));
+    } catch (const std::invalid_argument &) {
+        return 0;
+    }
+    qc::SweepAssembler assembler(fixedSpec());
+    const std::size_t pendingBefore = assembler.pending().size();
+    try {
+        assembler.applyResume(doc);
+    } catch (const std::invalid_argument &) {
+        return 0; // rejected cleanly
+    }
+    const std::size_t pendingAfter = assembler.pending().size();
+    QC_FUZZ_ASSERT(pendingAfter <= pendingBefore,
+                   "applyResume grew the pending set");
+    QC_FUZZ_ASSERT(assembler.resumedCount()
+                       == pendingBefore - pendingAfter,
+                   "resumed count disagrees with pending shrink");
+    // Whatever was adopted, the document must still serialize and
+    // reparse (it is about to become the next checkpoint).
+    const std::string out = assembler.document().dump(2);
+    (void)qc::Json::parse(out);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fuzz SweepSpec parsing and expansion: a hostile spec document
+ * must either throw std::invalid_argument (unknown keys/runners/
+ * fields, zip mismatches, grids past kMaxSweepPoints) or expand to
+ * exactly points() points — never overflow, never OOM, never
+ * produce a spec whose toJson() fails to reparse.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include "api/Json.hh"
+#include "fuzz/FuzzUtil.hh"
+#include "sweep/SweepSpec.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    qc::Json doc;
+    try {
+        doc = qc::Json::parse(qcfuzz::toString(data, size));
+    } catch (const std::invalid_argument &) {
+        return 0;
+    }
+    qc::SweepSpec spec;
+    try {
+        spec = qc::SweepSpec::fromJson(doc);
+    } catch (const std::invalid_argument &) {
+        return 0; // rejected cleanly
+    }
+
+    std::size_t total = 0;
+    try {
+        total = spec.points();
+    } catch (const std::invalid_argument &) {
+        return 0; // over the expansion cap: the guard fired
+    }
+    // Materialize only tame grids: the cap bounds the worst case,
+    // but per-iteration time still matters under the fuzzer.
+    if (total <= 4096) {
+        const auto points = spec.expand();
+        QC_FUZZ_ASSERT(points.size() == total,
+                       "expand() size disagrees with points()");
+    }
+    // An accepted spec's serialization is itself a valid spec with
+    // the same shape.
+    qc::SweepSpec again;
+    try {
+        again = qc::SweepSpec::fromJson(spec.toJson());
+    } catch (const std::invalid_argument &) {
+        QC_FUZZ_ASSERT(false, "toJson() of an accepted spec was "
+                              "rejected by fromJson()");
+    }
+    QC_FUZZ_ASSERT(again.points() == total,
+                   "toJson() round-trip changed the point count");
+    return 0;
+}

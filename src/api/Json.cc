@@ -157,9 +157,10 @@ class Parser
         // Bound recursion so hostile nesting ("[[[[...") throws
         // like every other malformed input instead of overflowing
         // the stack; real configs/results nest a handful deep.
-        if (depth_ >= maxDepth)
+        if (depth_ >= Json::kMaxParseDepth)
             jsonError("nesting deeper than "
-                      + std::to_string(maxDepth) + " levels");
+                      + std::to_string(Json::kMaxParseDepth)
+                      + " levels");
         ++depth_;
         Json out;
         switch (peek()) {
@@ -308,8 +309,6 @@ class Parser
         return Json(value);
     }
 
-    static constexpr int maxDepth = 256;
-
     const std::string &text_;
     std::size_t pos_ = 0;
     int depth_ = 0;
@@ -354,7 +353,28 @@ Json::asDouble() const
 std::int64_t
 Json::asInt() const
 {
-    return static_cast<std::int64_t>(asDouble());
+    const double v = asDouble();
+    // The bounds are the two nearest doubles bracketing the int64
+    // range; a value outside them (or NaN, which fails both
+    // comparisons) would make the cast undefined behavior.
+    if (!(v >= -9223372036854775808.0
+          && v < 9223372036854775808.0))
+        jsonError("number " + std::to_string(v)
+                  + " does not fit in int64");
+    return static_cast<std::int64_t>(v);
+}
+
+bool
+Json::asIndex(std::size_t &out) const
+{
+    if (kind_ != Kind::Number)
+        return false;
+    const double v = number_;
+    if (!(v >= 0.0 && v < exactIntLimit)
+        || v != std::floor(v))
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
 }
 
 const std::string &
@@ -425,6 +445,23 @@ Json::set(const std::string &key, Json value)
     if (kind_ != Kind::Object)
         jsonError(std::string("set on ") + kindName(kind_));
     object_[key] = std::move(value);
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+const Json *
+Json::find(std::size_t index) const
+{
+    if (kind_ != Kind::Array || index >= array_.size())
+        return nullptr;
+    return &array_[index];
 }
 
 const std::map<std::string, Json> &
@@ -558,15 +595,32 @@ Json::hash() const
 Json
 Json::parse(const std::string &text)
 {
+    if (text.size() > kMaxDocumentBytes)
+        jsonError("document of " + std::to_string(text.size())
+                  + " bytes exceeds the "
+                  + std::to_string(kMaxDocumentBytes)
+                  + "-byte limit");
     return Parser(text).document();
 }
 
 Json
 Json::loadFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         jsonError("cannot open " + path);
+    // Reject oversized files before buffering them: the parse()
+    // bound alone would still have read the whole file into
+    // memory first.
+    in.seekg(0, std::ios::end);
+    const std::streamoff bytes = in.tellg();
+    if (bytes >= 0
+        && static_cast<std::uint64_t>(bytes) > kMaxDocumentBytes)
+        jsonError(path + " is " + std::to_string(bytes)
+                  + " bytes, over the "
+                  + std::to_string(kMaxDocumentBytes)
+                  + "-byte document limit");
+    in.seekg(0, std::ios::beg);
     std::ostringstream ss;
     ss << in.rdbuf();
     return parse(ss.str());

@@ -14,6 +14,14 @@
  * std::invalid_argument: the API layer reports user-input problems
  * as catchable exceptions rather than aborting, unlike the panic()
  * convention of the inner simulation layers.
+ *
+ * The parser is the trust boundary for every file the process does
+ * not control (resume documents, serve protocol files, hoard
+ * objects, sweep specs), so it enforces two hard resource bounds:
+ * documents larger than kMaxDocumentBytes and nesting deeper than
+ * kMaxParseDepth are parse errors, never allocations or stack
+ * frames. Untrusted-input callers that must not throw use the
+ * find()/asIndex() accessors instead of at()/asInt().
  */
 
 #ifndef QC_API_JSON_HH
@@ -60,11 +68,23 @@ class Json
     bool isArray() const { return kind_ == Kind::Array; }
     bool isObject() const { return kind_ == Kind::Object; }
 
-    /** Checked accessors; throw std::invalid_argument on mismatch. */
+    /** Checked accessors; throw std::invalid_argument on mismatch.
+     *  asInt additionally throws when the number is NaN or outside
+     *  the int64 range — the cast would otherwise be undefined
+     *  behavior on hostile input like 1e300. */
     bool asBool() const;
     double asDouble() const;
     std::int64_t asInt() const;
     const std::string &asString() const;
+
+    /**
+     * Non-throwing index accessor for untrusted documents: true
+     * iff this is a number that is finite, integral, non-negative
+     * and at most 2^53 - 1 (exactly representable), writing it to
+     * `out`. Protocol code uses this for array indices so a
+     * hostile "index": 1e300 reads as malformed, not as UB.
+     */
+    bool asIndex(std::size_t &out) const;
 
     /** Array access. */
     std::size_t size() const;
@@ -76,6 +96,17 @@ class Json
     const Json &at(const std::string &key) const;
     void set(const std::string &key, Json value);
     const std::map<std::string, Json> &items() const;
+
+    /**
+     * Bounds-checked lookups for untrusted documents: nullptr when
+     * this is not an object/array or the key/index is absent,
+     * never a throw. The parse surfaces on the serve commit and
+     * hoard fetch paths must use these (enforced by qclint's
+     * parse-robustness rule) so a malformed file reads as a clean
+     * rejection instead of an exception mid-merge.
+     */
+    const Json *find(const std::string &key) const;
+    const Json *find(std::size_t index) const;
 
     /** Typed object lookups with defaults for absent keys. */
     bool getBool(const std::string &key, bool fallback) const;
@@ -95,6 +126,18 @@ class Json
      * per-point config memoization.
      */
     std::uint64_t hash() const;
+
+    /**
+     * Hard input bounds, enforced by parse(). Deeper nesting or a
+     * larger document is a parse error (std::invalid_argument
+     * naming the limit) — never a stack overflow or an unbounded
+     * allocation. Real configs/results nest a handful of levels
+     * and the largest aggregated sweep documents are a few MB;
+     * both limits carry order-of-magnitude headroom.
+     */
+    static constexpr int kMaxParseDepth = 256;
+    static constexpr std::size_t kMaxDocumentBytes =
+        std::size_t(64) << 20; // 64 MiB
 
     /** Parse a complete JSON document; throws on syntax errors. */
     static Json parse(const std::string &text);

@@ -138,25 +138,27 @@ HoardStore::validateObject(const Json &object,
         why = "key does not match object name";
         return false;
     }
-    if (!object.has("result") || !object.has("key_config")
-        || !object.has("runner")) {
+    // Objects are on-disk artifacts anyone can edit; every field
+    // read goes through find() so a malformed object quarantines
+    // instead of throwing out of the fetch path.
+    const Json *result = object.find("result");
+    const Json *keyConfig = object.find("key_config");
+    const Json *runner = object.find("runner");
+    if (!result || !keyConfig || !runner || !runner->isString()) {
         why = "missing field";
         return false;
     }
-    const Json &result = object.at("result");
-    if (object.getString("digest", "") != hexDigest(result)) {
+    if (object.getString("digest", "") != hexDigest(*result)) {
         why = "digest mismatch";
         return false;
     }
-    if (result.isObject() && result.has("error")) {
+    if (result->isObject() && result->has("error")) {
         why = "cached error result";
         return false;
     }
     // The name must be the hash of the stored identity — catches
     // an object renamed (or hand-copied) onto the wrong key.
-    if (hoardKeyHash(object.at("runner").asString(),
-                     object.at("key_config"))
-        != key) {
+    if (hoardKeyHash(runner->asString(), *keyConfig) != key) {
         why = "key_config does not hash to the key";
         return false;
     }
@@ -203,10 +205,11 @@ HoardStore::fetch(const std::string &runner, const Json &config,
         valid = validateObject(object, key, why);
         // The full-identity guard: a 64-bit collision between two
         // distinct key configs must read as a miss, never a hit.
+        const Json *keyConfig = object.find("key_config");
         if (valid
             && (object.getString("runner", "") != runner
-                || object.at("key_config")
-                       != hoardKeyConfig(runner, config))) {
+                || !keyConfig
+                || *keyConfig != hoardKeyConfig(runner, config))) {
             valid = false;
             why = "key_config mismatch";
         }
@@ -220,7 +223,7 @@ HoardStore::fetch(const std::string &runner, const Json &config,
         ++counters_.misses;
         return false;
     }
-    result = object.at("result");
+    result = *object.find("result");
     MutexLock lock(mutex_);
     ++counters_.hits;
     return true;
@@ -353,9 +356,10 @@ HoardStore::verify()
     if (fs::exists(indexPath, ec) && !ec) {
         try {
             const Json index = Json::loadFile(indexPath);
-            if (index.has("entries")) {
+            const Json *entries = index.find("entries");
+            if (entries && entries->isObject()) {
                 for (const auto &[key, entry] :
-                     index.at("entries").items()) {
+                     entries->items()) {
                     (void)entry;
                     const bool present = std::any_of(
                         survivors.begin(), survivors.end(),
@@ -429,12 +433,13 @@ HoardStore::ingestServe(const std::string &serveDir)
 {
     const ServeDir dir(serveDir);
     const Json manifest = Json::loadFile(dir.manifest());
-    if (!manifest.has("spec")) {
+    const Json *specJson = manifest.find("spec");
+    if (!specJson) {
         throw std::invalid_argument(
             "serve manifest " + dir.manifest()
             + " carries no spec");
     }
-    const SweepSpec spec = SweepSpec::fromJson(manifest.at("spec"));
+    const SweepSpec spec = SweepSpec::fromJson(*specJson);
     const SweepPlan plan = SweepPlan::expand(spec);
     std::size_t ingested = 0;
     std::error_code ec;
@@ -489,8 +494,9 @@ HoardStore::stat() const
     if (fs::exists(indexPath, ec) && !ec) {
         try {
             const Json index = Json::loadFile(indexPath);
-            if (index.has("entries"))
-                indexEntries = index.at("entries").items().size();
+            const Json *entries = index.find("entries");
+            if (entries && entries->isObject())
+                indexEntries = entries->items().size();
         } catch (const std::exception &) {
         }
     }

@@ -65,6 +65,7 @@
 #include "api/Json.hh"
 #include "common/Mutex.hh"
 #include "serve/FaultInjector.hh"
+#include "sweep/ResultCache.hh"
 
 namespace qc {
 
@@ -107,7 +108,7 @@ struct HoardGcReport
     std::uint64_t evictedBytes = 0;
 };
 
-class HoardStore
+class HoardStore final : public ResultCache
 {
   public:
     /** Object format version stamped into every object. */
@@ -138,7 +139,7 @@ class HoardStore
      * quarantined and reported as a miss. Thread-safe.
      */
     bool fetch(const std::string &runner, const Json &config,
-               Json &result);
+               Json &result) override;
 
     /**
      * Publish a computed result. Returns true if a new object was
@@ -149,7 +150,7 @@ class HoardStore
      * publishers of the same key.
      */
     bool store(const std::string &runner, const Json &config,
-               const Json &result);
+               const Json &result) override;
 
     /** Session counters (snapshot). Thread-safe. */
     HoardCounters counters() const;

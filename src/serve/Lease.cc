@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -32,13 +33,29 @@ toJson(const LeaseInfo &info)
 bool
 fromJson(const Json &j, LeaseInfo &out)
 {
-    if (!j.isObject() || !j.has("pid") || !j.has("nonce")
-        || !j.has("expires_ms"))
+    // Lease files are written by other processes; treat them as
+    // untrusted and read every field through bounds-checked
+    // accessors so a corrupt file reads as "no valid lease".
+    const Json *pid = j.find("pid");
+    const Json *nonce = j.find("nonce");
+    const Json *expires = j.find("expires_ms");
+    std::size_t pidValue = 0;
+    if (!pid || !nonce || !expires || !nonce->isString()
+        || !pid->asIndex(pidValue)
+        || pidValue > static_cast<std::size_t>(INT_MAX))
         return false;
-    out.pid = static_cast<int>(j.at("pid").asInt());
-    out.nonce = j.at("nonce").asString();
-    out.expiresMs = j.at("expires_ms").asInt();
-    out.ttlSeconds = j.getDouble("ttl_seconds", 0.0);
+    std::size_t expiresValue = 0;
+    if (!expires->asIndex(expiresValue))
+        return false;
+    out.pid = static_cast<int>(pidValue);
+    out.nonce = nonce->asString();
+    out.expiresMs = static_cast<std::int64_t>(expiresValue);
+    out.ttlSeconds = 0.0;
+    if (const Json *ttl = j.find("ttl_seconds")) {
+        if (!ttl->isNumber())
+            return false;
+        out.ttlSeconds = ttl->asDouble();
+    }
     return true;
 }
 

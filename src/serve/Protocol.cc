@@ -4,6 +4,35 @@
 
 namespace qc {
 
+namespace {
+
+/** find() + kind check for the reject-whole parsers below: the
+ *  getString/getBool lookups throw on a present-but-mistyped key,
+ *  which is exactly what a fromJson returning bool must not do. */
+bool
+readString(const Json &json, const char *key, std::string &out)
+{
+    const Json *value = json.find(key);
+    if (!value || !value->isString())
+        return false;
+    out = value->asString();
+    return true;
+}
+
+bool
+readOptionalBool(const Json &json, const char *key, bool &out)
+{
+    const Json *value = json.find(key);
+    if (!value)
+        return true; // absent: keep the default
+    if (!value->isBool())
+        return false;
+    out = value->asBool();
+    return true;
+}
+
+} // namespace
+
 std::string
 shardId(std::size_t ordinal)
 {
@@ -28,18 +57,27 @@ ShardDescriptor::toJson() const
 bool
 ShardDescriptor::fromJson(const Json &json, ShardDescriptor &out)
 {
-    if (!json.isObject() || !json.has("id") || !json.has("indices")
-        || !json.at("indices").isArray())
+    // Every read below is bounds-checked (find/asIndex, never
+    // at()/asInt): queue entries come off a shared filesystem, and
+    // a malformed one must read as "reject this file", not as an
+    // exception escaping into the acquire/merge loop.
+    const Json *indices = json.find("indices");
+    if (!indices || !indices->isArray())
         return false;
-    out.id = json.getString("id", "");
-    out.attempt = static_cast<int>(json.getInt("attempt", 0));
-    out.indices.clear();
-    const Json &arr = json.at("indices");
-    for (std::size_t i = 0; i < arr.size(); ++i) {
-        if (!arr.at(i).isNumber())
+    if (!readString(json, "id", out.id))
+        return false;
+    std::size_t attempt = 0;
+    if (const Json *a = json.find("attempt")) {
+        if (!a->asIndex(attempt) || attempt > kMaxShardAttempts)
             return false;
-        out.indices.push_back(
-            static_cast<std::size_t>(arr.at(i).asInt()));
+    }
+    out.attempt = static_cast<int>(attempt);
+    out.indices.clear();
+    for (std::size_t i = 0; i < indices->size(); ++i) {
+        std::size_t index = 0;
+        if (!indices->find(i)->asIndex(index))
+            return false;
+        out.indices.push_back(index);
     }
     return !out.id.empty();
 }
@@ -67,26 +105,30 @@ ShardDelta::toJson() const
 bool
 ShardDelta::fromJson(const Json &json, ShardDelta &out)
 {
-    if (!json.isObject() || !json.has("id") || !json.has("points")
-        || !json.at("points").isArray())
+    const Json *points = json.find("points");
+    if (!points || !points->isArray())
         return false;
-    out.id = json.getString("id", "");
-    out.owner = json.getString("owner", "");
-    out.partial = json.getBool("partial", false);
+    if (!readString(json, "id", out.id))
+        return false;
+    out.owner.clear();
+    if (json.find("owner")
+        && !readString(json, "owner", out.owner))
+        return false;
+    out.partial = false;
+    if (!readOptionalBool(json, "partial", out.partial))
+        return false;
     out.points.clear();
-    const Json &arr = json.at("points");
-    for (std::size_t i = 0; i < arr.size(); ++i) {
-        const Json &p = arr.at(i);
-        if (!p.isObject() || !p.has("index")
-            || !p.has("config_hash") || !p.has("result")
-            || !p.at("index").isNumber())
-            return false;
+    for (std::size_t i = 0; i < points->size(); ++i) {
+        const Json *p = points->find(i);
+        const Json *index = p->find("index");
+        const Json *result = p->find("result");
         DeltaPoint point;
-        point.index =
-            static_cast<std::size_t>(p.at("index").asInt());
-        point.configHash = p.getString("config_hash", "");
-        point.failed = p.getBool("failed", false);
-        point.result = p.at("result");
+        if (!index || !result || !index->asIndex(point.index)
+            || !readString(*p, "config_hash", point.configHash))
+            return false;
+        if (!readOptionalBool(*p, "failed", point.failed))
+            return false;
+        point.result = *result;
         out.points.push_back(std::move(point));
     }
     return !out.id.empty();

@@ -86,6 +86,14 @@ struct ServeDir
 /** "shard-0007" — stable, sortable shard names. */
 std::string shardId(std::size_t ordinal);
 
+/**
+ * Largest attempt counter a queue entry may carry. Attempts only
+ * grow by one per reclaim, so any larger value means a corrupt or
+ * hostile descriptor; rejecting it keeps the int field from being
+ * fed an out-of-range number.
+ */
+constexpr std::size_t kMaxShardAttempts = 1u << 20;
+
 /** One queue descriptor. */
 struct ShardDescriptor
 {

@@ -166,8 +166,13 @@ class Worker
 
         const Json manifest = Json::loadFile(dir_.manifest());
         ttlSeconds_ = manifest.getDouble("lease_seconds", 30.0);
-        const SweepSpec spec =
-            SweepSpec::fromJson(manifest.at("spec"));
+        const Json *specJson = manifest.find("spec");
+        if (!specJson) {
+            throw std::invalid_argument(
+                "serve manifest " + dir_.manifest()
+                + " carries no spec");
+        }
+        const SweepSpec spec = SweepSpec::fromJson(*specJson);
         plan_ = SweepPlan::expand(spec);
         runner_ = &SweepRunnerRegistry::instance().get(spec.runner);
         note(options_, "joined %s: sweep \"%s\", %zu point(s), "

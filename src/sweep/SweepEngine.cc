@@ -8,7 +8,6 @@
 
 #include "common/DurableFile.hh"
 #include "common/Mutex.hh"
-#include "hoard/HoardStore.hh"
 #include "sweep/SweepPlan.hh"
 #include "sweep/WorkStealingPool.hh"
 

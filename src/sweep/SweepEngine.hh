@@ -32,12 +32,11 @@
 #include <cstddef>
 #include <functional>
 
+#include "sweep/ResultCache.hh"
 #include "sweep/SweepRunner.hh"
 #include "sweep/SweepSpec.hh"
 
 namespace qc {
-
-class HoardStore;
 
 /** One progress tick, delivered serially (under the engine lock). */
 struct SweepProgress
@@ -108,14 +107,16 @@ struct SweepOptions
     /**
      * Optional persistent result cache (`qcarch sweep --hoard`,
      * docs/HOARD.md). When set, each unique point is first looked
-     * up in the store (read-through, from the pool workers) and
+     * up in the cache (read-through, from the pool workers) and
      * each newly computed non-error result is published back
      * (write-behind). Hits are byte-identical to cold computation
      * by construction — the stored object is the runner's own
      * metrics JSON — so the document never depends on the cache
-     * state. Not owned; must outlive runSweep. Thread-safe.
+     * state. The production implementation is HoardStore, injected
+     * by the CLI; the engine sees only the ResultCache interface.
+     * Not owned; must outlive runSweep. Thread-safe.
      */
-    HoardStore *hoard = nullptr;
+    ResultCache *hoard = nullptr;
 };
 
 /** Outcome of one sweep run. */

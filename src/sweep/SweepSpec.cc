@@ -100,8 +100,20 @@ std::size_t
 SweepGrid::points() const
 {
     std::size_t n = 1;
-    for (const SweepAxis &axis : axes)
-        n *= axis.length();
+    for (const SweepAxis &axis : axes) {
+        // Overflow-checked product: a hostile spec's cartesian
+        // blow-up must be a clean error, not a size_t wrap that
+        // under-reports the grid (and then over-allocates).
+        std::size_t next = 0;
+        if (__builtin_mul_overflow(n, axis.length(), &next)
+            || next > kMaxSweepPoints) {
+            throw std::invalid_argument(
+                "sweep grid expands past the "
+                + std::to_string(kMaxSweepPoints)
+                + "-point limit");
+        }
+        n = next;
+    }
     return n;
 }
 
@@ -214,8 +226,15 @@ std::size_t
 SweepSpec::points() const
 {
     std::size_t n = 0;
-    for (const SweepGrid &grid : grids)
+    for (const SweepGrid &grid : grids) {
         n += grid.points();
+        if (n > kMaxSweepPoints) {
+            throw std::invalid_argument(
+                "sweep spec expands past the "
+                + std::to_string(kMaxSweepPoints)
+                + "-point limit");
+        }
+    }
     return n;
 }
 

@@ -67,13 +67,24 @@ struct SweepAxis
     }
 };
 
+/**
+ * Largest point count a spec may expand to. A hostile (or typo'd)
+ * spec whose cartesian product explodes must fail with a clear
+ * error while still cheap to detect — not overflow std::size_t in
+ * points() or OOM materializing the list. The largest shipped
+ * paper grid is ~10^3 points; 2^22 leaves three orders of
+ * magnitude of headroom.
+ */
+constexpr std::size_t kMaxSweepPoints = std::size_t(1) << 22;
+
 /** One cartesian grid of axes, with optional base overrides. */
 struct SweepGrid
 {
     Json base = Json::object();  ///< merged over the spec base
     std::vector<SweepAxis> axes; ///< product in declaration order
 
-    /** Points this grid expands to (product of axis lengths). */
+    /** Points this grid expands to (product of axis lengths).
+     *  Throws std::invalid_argument beyond kMaxSweepPoints. */
     std::size_t points() const;
 };
 

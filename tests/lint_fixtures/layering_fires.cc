@@ -1,0 +1,11 @@
+// qclint-fixture: path=src/sim/Telemetry.cc
+// qclint-fixture: expect=module-layering:7, module-layering:8
+// sim is an inner engine module: it may reach common only, and
+// certainly not back up into the sweep/serve orchestration layers.
+#include <string>
+
+#include "serve/Protocol.hh"
+#include "hoard/HoardStore.hh"
+#include "common/Clock.hh"
+
+void record(const std::string &) {}

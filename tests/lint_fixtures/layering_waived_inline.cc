@@ -1,0 +1,10 @@
+// qclint-fixture: path=src/layout/Export.cc
+// qclint-fixture: expect=clean
+// An inline waiver with a justification suppresses a layering
+// finding the same way it does for every other rule.
+#include "common/Clock.hh"
+
+// qclint: allow(module-layering): hypothetical one-off export hook
+#include "sweep/SweepSpec.hh"
+
+void export_layout() {}

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 #include "api/Qc.hh"
@@ -86,6 +88,101 @@ TEST(Json, HostileNestingThrowsInsteadOfOverflowing)
     for (int i = 0; i < 50; ++i)
         ok += ']';
     EXPECT_NO_THROW(Json::parse(ok));
+}
+
+/** N nested arrays around a scalar: "[[...[1]...]]". */
+std::string
+nested(int levels)
+{
+    return std::string(levels, '[') + "1"
+           + std::string(levels, ']');
+}
+
+TEST(Json, ParseDepthLimitIsExactAndNamed)
+{
+    // The documented bound: kMaxParseDepth containers parse (the
+    // scalar inside is the deepest value), one more throws, and
+    // the error names the limit so the fuzz corpus input
+    // deep_nesting_4096 stays self-explanatory.
+    EXPECT_NO_THROW(Json::parse(nested(Json::kMaxParseDepth - 1)));
+    try {
+        Json::parse(nested(Json::kMaxParseDepth));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      std::to_string(Json::kMaxParseDepth)),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Json, DocumentSizeLimitIsEnforcedAndNamed)
+{
+    // parse() refuses oversized text up front...
+    std::string huge(Json::kMaxDocumentBytes + 1, ' ');
+    try {
+        Json::parse(huge);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(std::to_string(
+                      Json::kMaxDocumentBytes)),
+                  std::string::npos)
+            << e.what();
+    }
+    // ...and loadFile() refuses by file size, before buffering
+    // the bytes (a sparse file keeps this test cheap).
+    const std::string path = ::testing::TempDir()
+                             + "qc_json_oversize.json";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "{}";
+    }
+    std::filesystem::resize_file(
+        path, Json::kMaxDocumentBytes + 1);
+    try {
+        Json::loadFile(path);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(std::to_string(
+                      Json::kMaxDocumentBytes)),
+                  std::string::npos)
+            << e.what();
+    }
+    std::filesystem::remove(path);
+    // An exactly-at-the-limit document is fine.
+    std::string atLimit = "\"";
+    atLimit.append(Json::kMaxDocumentBytes - 2, 'x');
+    atLimit += "\"";
+    EXPECT_NO_THROW(Json::parse(atLimit));
+}
+
+TEST(Json, BoundsCheckedAccessorsRejectInsteadOfThrowing)
+{
+    const Json j = Json::parse(R"({
+      "id": "a", "n": 3, "frac": 0.5, "neg": -1,
+      "huge": 1e300, "list": [1, 2]
+    })");
+    // find(): nullptr on absent keys, wrong kinds, and non-object
+    // receivers — never a throw.
+    EXPECT_NE(j.find("id"), nullptr);
+    EXPECT_EQ(j.find("missing"), nullptr);
+    EXPECT_EQ(Json(1.0).find("id"), nullptr);
+    EXPECT_EQ(j.at("list").find(2), nullptr);
+    ASSERT_NE(j.at("list").find(1), nullptr);
+
+    // asIndex(): true only for finite integral non-negative
+    // numbers that fit exactly.
+    std::size_t out = 99;
+    EXPECT_TRUE(j.at("n").asIndex(out));
+    EXPECT_EQ(out, 3u);
+    EXPECT_FALSE(j.at("frac").asIndex(out));
+    EXPECT_FALSE(j.at("neg").asIndex(out));
+    EXPECT_FALSE(j.at("huge").asIndex(out));
+    EXPECT_FALSE(j.at("id").asIndex(out));
+
+    // asInt() stays range-checked: a number that cannot round-trip
+    // through int64 throws instead of truncating.
+    EXPECT_THROW(j.at("huge").asInt(), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------

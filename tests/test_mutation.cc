@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Mutation-robustness property tests: take a byte-exact valid
+ * artifact, apply every single-byte mutation, and require the
+ * reader to uphold its integrity contract on each mutant.
+ *
+ *  - Hoard objects: for every mutant of a stored object file,
+ *    fetch() either returns the original result byte-identical
+ *    (the mutation hit a byte the digest/key checks ignore) or
+ *    misses with the mutant quarantined out of the object path —
+ *    never a third outcome, and never a silently different
+ *    result.
+ *  - Serve shard deltas: for every mutant of a committed delta
+ *    file, the coordinator's leftover-delta recovery merges the
+ *    whole delta or rejects the whole delta — never a strict
+ *    subset of its points. (The validate-all-then-merge-all shape
+ *    of Coordinator::mergeDelta is exactly what this pins down.)
+ *
+ * These complement the corruption matrix in test_hoard.cc: that
+ * enumerates known damage modes, this sweeps the full single-byte
+ * neighborhood so a future parser "fix" that opens a partial-merge
+ * or silent-corruption window fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/Qc.hh"
+#include "hoard/Hoard.hh"
+#include "serve/Serve.hh"
+#include "sweep/Sweep.hh"
+
+namespace qc {
+namespace {
+
+namespace fs = std::filesystem;
+
+Json
+parse(const std::string &text)
+{
+    return Json::parse(text);
+}
+
+/** A fresh scratch directory, removed on destruction. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(const std::string &name)
+        : path(::testing::TempDir() + name + "-"
+               + std::to_string(::getpid()))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~ScratchDir() { fs::remove_all(path); }
+
+    std::string file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+};
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+/** The two single-byte substitutions tried at every offset: a
+ *  low-bit flip (digit/letter neighbors, the classic disk flip)
+ *  and a high-bit flip (ASCII -> non-ASCII, breaks tokens). */
+const unsigned char kFlips[] = {0x01, 0x80};
+
+// ---------------------------------------------------------------
+// Hoard objects
+// ---------------------------------------------------------------
+
+TEST(MutationRobustness, HoardObjectEveryByteMutation)
+{
+    ScratchDir dir("qc_mut_hoard");
+    const std::string root = dir.file("store");
+    const Json config = parse(R"({"trials": 1000, "seed": 7})");
+    const Json result =
+        parse(R"({"rate": 0.125, "trials": 1000})");
+    {
+        HoardStore hoard(root);
+        ASSERT_TRUE(hoard.store("mc-prep", config, result));
+    }
+    const std::string objectPath =
+        HoardStore(root).objectPath(
+            HoardStore::keyFor("mc-prep", config));
+    const std::string original = readAll(objectPath);
+    ASSERT_FALSE(original.empty());
+
+    std::size_t hits = 0, quarantined = 0;
+    for (std::size_t at = 0; at < original.size(); ++at) {
+        for (unsigned char flip : kFlips) {
+            std::string mutant = original;
+            mutant[at] = static_cast<char>(
+                static_cast<unsigned char>(mutant[at]) ^ flip);
+            fs::create_directories(
+                fs::path(objectPath).parent_path());
+            writeAll(objectPath, mutant);
+
+            HoardStore hoard(root);
+            Json fetched;
+            if (hoard.fetch("mc-prep", config, fetched)) {
+                ++hits;
+                EXPECT_EQ(fetched.dump(), result.dump())
+                    << "byte " << at << " ^ " << int(flip)
+                    << ": fetch hit with a DIFFERENT result";
+            } else {
+                ++quarantined;
+                EXPECT_FALSE(fs::exists(objectPath))
+                    << "byte " << at << " ^ " << int(flip)
+                    << ": miss left the mutant in place instead "
+                       "of quarantining it";
+            }
+        }
+    }
+    // The sweep must actually bite: a mutant surviving every
+    // check with a byte-identical payload is possible (e.g. a
+    // flip inside a field no check covers is not), but the vast
+    // majority must be caught.
+    EXPECT_GT(quarantined, 0u);
+    SCOPED_TRACE("hits=" + std::to_string(hits));
+
+    // Healed store: restoring the original bytes fetches again.
+    fs::create_directories(fs::path(objectPath).parent_path());
+    writeAll(objectPath, original);
+    HoardStore healed(root);
+    Json fetched;
+    ASSERT_TRUE(healed.fetch("mc-prep", config, fetched));
+    EXPECT_EQ(fetched.dump(), result.dump());
+}
+
+// ---------------------------------------------------------------
+// Serve shard deltas
+// ---------------------------------------------------------------
+
+/** 4-point mc-prep spec; the delta under test commits points 0
+ *  and 1, the other two stay pending (the coordinator is stopped
+ *  before any worker could run them). */
+const char *const kSpec = R"({
+  "name": "mutation_serve",
+  "runner": "mc-prep",
+  "base": {"trials": 2000, "seed": 11},
+  "axes": [
+    {"field": "strategy", "values": ["basic", "verify_and_correct"]},
+    {"field": "pGate", "values": [1e-4, 1e-3]}
+  ]
+})";
+
+TEST(MutationRobustness, ServeDeltaMergesWholeOrRejectsWhole)
+{
+    const SweepSpec spec = SweepSpec::fromJson(parse(kSpec));
+    const SweepPlan plan = SweepPlan::expand(spec);
+    const SweepRunner &runner =
+        SweepRunnerRegistry::instance().get(spec.runner);
+    SweepContext context;
+
+    ShardDelta delta;
+    delta.id = shardId(0);
+    delta.owner = "mutation-owner";
+    for (std::size_t index : {std::size_t{0}, std::size_t{1}}) {
+        DeltaPoint point;
+        point.index = index;
+        point.configHash = hexConfigHash(plan.hashes[index]);
+        point.result =
+            runner.runPoint(plan.points[index].config, context);
+        delta.points.push_back(std::move(point));
+    }
+    const std::string original = delta.toJson().dump(0) + "\n";
+
+    ScratchDir dir("qc_mut_serve");
+    std::size_t merged = 0, rejected = 0, iteration = 0;
+    for (std::size_t at = 0; at < original.size(); ++at) {
+        std::string mutant = original;
+        mutant[at] = static_cast<char>(
+            static_cast<unsigned char>(mutant[at]) ^ 0x01);
+
+        const std::string sub =
+            dir.file("m" + std::to_string(iteration++));
+        CoordinatorOptions options;
+        options.outPath = sub + "/out.json";
+        options.dir = sub + "/serve";
+        options.pollMs = 1;
+        options.checkpointSeconds = 0;
+        options.quiet = true;
+        options.stopRequested = [] { return true; };
+        const ServeDir serveDir(options.dir);
+        fs::create_directories(serveDir.resultDir());
+        writeAll(serveDir.result(delta.id, delta.owner), mutant);
+
+        const CoordinatorReport report =
+            runCoordinator(spec, options);
+        EXPECT_EQ(report.exitCode, kInterruptedExit);
+        EXPECT_TRUE(report.executed == 0
+                    || report.executed == delta.points.size())
+            << "byte " << at << ": PARTIAL merge of "
+            << report.executed << "/" << delta.points.size()
+            << " points from one delta";
+        if (report.executed == delta.points.size()) {
+            ++merged;
+        } else {
+            ++rejected;
+            EXPECT_GE(report.rejected, 1u)
+                << "byte " << at
+                << ": zero points merged but the delta was not "
+                   "counted rejected";
+        }
+        fs::remove_all(sub);
+    }
+    // Both arms must be exercised for the property to mean
+    // anything: some flips land in result payloads the hash
+    // checks do not cover (merge-whole), most break the JSON or
+    // the config_hash binding (reject-whole).
+    EXPECT_GT(merged, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+} // namespace
+} // namespace qc

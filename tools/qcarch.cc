@@ -116,6 +116,23 @@ stopRequested()
     return gStopRequested != 0;
 }
 
+/**
+ * A bad invocation (unknown command/flag, missing or malformed
+ * option value, wrong positional count). main() reports it as one
+ * line on stderr plus a one-line usage pointer and exits 2 —
+ * distinct from exit 1, which is reserved for well-formed commands
+ * whose *input* is bad (unreadable config, unknown runner, ...).
+ */
+class UsageError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+constexpr const char *kUsageLine =
+    "usage: qcarch <run|sweep|serve|work|hoard|list|help> ... "
+    "(run \"qcarch help\" for details)";
+
 int
 usage(std::ostream &out, int code)
 {
@@ -153,10 +170,8 @@ takeOption(std::vector<std::string> &args, const std::string &name)
 {
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == name) {
-            if (i + 1 >= args.size()) {
-                throw std::invalid_argument(name
-                                            + " needs a value");
-            }
+            if (i + 1 >= args.size())
+                throw UsageError(name + " needs a value");
             std::string value = args[i + 1];
             args.erase(args.begin() + static_cast<long>(i),
                        args.begin() + static_cast<long>(i) + 2);
@@ -164,6 +179,73 @@ takeOption(std::vector<std::string> &args, const std::string &name)
         }
     }
     return "";
+}
+
+/**
+ * Called after a command has consumed every option it knows:
+ * anything left that looks like a flag is a typo ("--thread 4"
+ * must fail loudly, not silently run single-threaded with a stray
+ * positional), and more/fewer positionals than expected is equally
+ * a bad invocation.
+ */
+void
+expectPositionals(const std::vector<std::string> &args,
+                  std::size_t count, const std::string &what)
+{
+    for (const std::string &arg : args) {
+        if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-')
+            throw UsageError("unknown flag \"" + arg + "\" for "
+                             + what);
+    }
+    if (args.size() != count) {
+        throw UsageError(what + " expects "
+                         + std::to_string(count) + " argument"
+                         + (count == 1 ? "" : "s") + ", got "
+                         + std::to_string(args.size()));
+    }
+}
+
+/** Strictly parse an integer option value: the whole token must be
+ *  a base-10 integer inside [min, max], or the invocation is bad. */
+std::int64_t
+parseIntOption(const std::string &name, const std::string &text,
+               std::int64_t min, std::int64_t max)
+{
+    std::int64_t value = 0;
+    std::size_t used = 0;
+    try {
+        value = std::stoll(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size() || text.empty())
+        throw UsageError(name + " expects an integer, got \""
+                         + text + "\"");
+    if (value < min || value > max) {
+        throw UsageError(name + " must be in ["
+                         + std::to_string(min) + ", "
+                         + std::to_string(max) + "], got " + text);
+    }
+    return value;
+}
+
+/** Strictly parse a non-negative, finite double option value. */
+double
+parseSecondsOption(const std::string &name, const std::string &text)
+{
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+        value = std::stod(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size() || text.empty()
+        || !(value >= 0.0 && value <= 1e12)) {
+        throw UsageError(name + " expects a non-negative number, "
+                         "got \"" + text + "\"");
+    }
+    return value;
 }
 
 bool
@@ -183,8 +265,16 @@ FaultInjector
 takeFault(std::vector<std::string> &args)
 {
     const std::string spec = takeOption(args, "--fault");
-    if (!spec.empty())
-        return FaultInjector::parse(spec);
+    if (!spec.empty()) {
+        try {
+            return FaultInjector::parse(spec);
+        } catch (const std::exception &e) {
+            // A malformed flag value is a bad invocation (exit 2),
+            // unlike a bad QCARCH_FAULT env var (exit 1: the
+            // command line itself was fine).
+            throw UsageError(std::string("--fault: ") + e.what());
+        }
+    }
     return FaultInjector::fromEnv();
 }
 
@@ -212,8 +302,7 @@ int
 cmdRun(std::vector<std::string> args)
 {
     const std::string out = takeOption(args, "--out");
-    if (args.size() != 1)
-        return usage(std::cerr, 2);
+    expectPositionals(args, 1, "qcarch run <config.json>");
     const ExperimentConfig config = ExperimentConfig::load(args[0]);
     emit(runExperiment(config).toJson(), out);
     return 0;
@@ -230,24 +319,29 @@ cmdSweep(std::vector<std::string> args)
     const std::string hoardDir = takeHoardDir(args);
     const FaultInjector fault = takeFault(args);
     const bool quiet = takeFlag(args, "--quiet");
-    if (args.size() != 1)
-        return usage(std::cerr, 2);
+    expectPositionals(args, 1, "qcarch sweep <spec.json>");
+
+    // Validate every option value before touching the filesystem:
+    // a bad invocation must exit 2 even when the spec file is also
+    // missing.
+    SweepOptions options;
+    if (!threads.empty())
+        options.threads = static_cast<int>(
+            parseIntOption("--threads", threads, 0, 1 << 16));
+    if (!checkpointSeconds.empty())
+        options.checkpointSeconds = parseSecondsOption(
+            "--checkpoint-seconds", checkpointSeconds);
 
     const SweepSpec spec = SweepSpec::load(args[0]);
-    SweepOptions options;
     std::optional<HoardStore> hoard;
     if (!hoardDir.empty()) {
         hoard.emplace(hoardDir, fault);
         options.hoard = &*hoard;
     }
-    if (!threads.empty())
-        options.threads = std::stoi(threads);
     // With --out, checkpoint to the output path during the run: a
     // killed sweep leaves a valid document (finished points plus
     // "interrupted" stubs) that --resume restarts from.
     options.checkpointPath = out;
-    if (!checkpointSeconds.empty())
-        options.checkpointSeconds = std::stod(checkpointSeconds);
     options.stopRequested = stopRequested;
 
     // Load the previous output up front so an unreadable or
@@ -332,21 +426,27 @@ cmdServe(std::vector<std::string> args)
         takeOption(args, "--checkpoint-seconds");
     options.fault = takeFault(args);
     options.quiet = takeFlag(args, "--quiet");
-    if (args.size() != 1 || options.outPath.empty())
-        return usage(std::cerr, 2);
+    expectPositionals(args, 1, "qcarch serve <spec.json> --out PATH");
+    if (options.outPath.empty())
+        throw UsageError("qcarch serve requires --out PATH");
     if (options.dir.empty())
         options.dir = options.outPath + ".serve";
     if (!workers.empty())
-        options.workersExpected = std::stoi(workers);
+        options.workersExpected = static_cast<int>(parseIntOption(
+            "--workers-expected", workers, 0, 1 << 16));
     if (!lease.empty())
-        options.leaseSeconds = std::stod(lease);
+        options.leaseSeconds =
+            parseSecondsOption("--lease-seconds", lease);
     if (!shardPoints.empty())
         options.shardPoints =
-            static_cast<std::size_t>(std::stoul(shardPoints));
+            static_cast<std::size_t>(parseIntOption(
+                "--shard-points", shardPoints, 1, 1 << 30));
     if (!pollMs.empty())
-        options.pollMs = std::stoi(pollMs);
+        options.pollMs = static_cast<int>(
+            parseIntOption("--poll-ms", pollMs, 1, 1 << 30));
     if (!checkpointSeconds.empty())
-        options.checkpointSeconds = std::stod(checkpointSeconds);
+        options.checkpointSeconds = parseSecondsOption(
+            "--checkpoint-seconds", checkpointSeconds);
     options.stopRequested = stopRequested;
 
     const SweepSpec spec = SweepSpec::load(args[0]);
@@ -378,14 +478,18 @@ cmdWork(std::vector<std::string> args)
         takeOption(args, "--max-idle-seconds");
     options.fault = takeFault(args);
     options.quiet = takeFlag(args, "--quiet");
-    if (!args.empty() || options.dir.empty())
-        return usage(std::cerr, 2);
+    expectPositionals(args, 0, "qcarch work --coordinator DIR");
+    if (options.dir.empty())
+        throw UsageError("qcarch work requires --coordinator DIR");
     if (!pollMs.empty())
-        options.pollMs = std::stoi(pollMs);
+        options.pollMs = static_cast<int>(
+            parseIntOption("--poll-ms", pollMs, 1, 1 << 30));
     if (!backoffMaxMs.empty())
-        options.backoffMaxMs = std::stoi(backoffMaxMs);
+        options.backoffMaxMs = static_cast<int>(parseIntOption(
+            "--backoff-max-ms", backoffMaxMs, 1, 1 << 30));
     if (!maxIdle.empty())
-        options.maxIdleSeconds = std::stod(maxIdle);
+        options.maxIdleSeconds =
+            parseSecondsOption("--max-idle-seconds", maxIdle);
     options.stopRequested = stopRequested;
 
     installStopHandlers();
@@ -402,7 +506,9 @@ int
 cmdHoard(std::vector<std::string> args)
 {
     if (args.empty())
-        return usage(std::cerr, 2);
+        throw UsageError(
+            "qcarch hoard needs a subcommand: "
+            "warm, stat, verify, gc, ingest");
     const std::string what = args[0];
     args.erase(args.begin());
 
@@ -413,14 +519,18 @@ cmdHoard(std::vector<std::string> args)
         const std::string hoardDir = takeHoardDir(args);
         const FaultInjector fault = takeFault(args);
         const bool quiet = takeFlag(args, "--quiet");
-        if (args.size() != 1 || hoardDir.empty())
-            return usage(std::cerr, 2);
+        expectPositionals(args, 1,
+                          "qcarch hoard warm <spec.json>");
+        if (hoardDir.empty())
+            throw UsageError("qcarch hoard warm requires --hoard "
+                             "DIR (or QCARCH_HOARD)");
+        SweepOptions options;
+        if (!threads.empty())
+            options.threads = static_cast<int>(
+                parseIntOption("--threads", threads, 0, 1 << 16));
         const SweepSpec spec = SweepSpec::load(args[0]);
         HoardStore hoard(hoardDir, fault);
-        SweepOptions options;
         options.hoard = &hoard;
-        if (!threads.empty())
-            options.threads = std::stoi(threads);
         options.stopRequested = stopRequested;
         installStopHandlers();
         const SweepReport report = runSweep(spec, options);
@@ -436,8 +546,10 @@ cmdHoard(std::vector<std::string> args)
 
     if (what == "ingest") {
         const std::string serveDir = takeOption(args, "--serve");
-        if (args.size() != 1 || serveDir.empty())
-            return usage(std::cerr, 2);
+        expectPositionals(args, 1, "qcarch hoard ingest DIR");
+        if (serveDir.empty())
+            throw UsageError("qcarch hoard ingest requires "
+                             "--serve SERVEDIR");
         HoardStore hoard(args[0]);
         const std::size_t ingested = hoard.ingestServe(serveDir);
         std::cerr << "hoard: ingested " << ingested
@@ -450,12 +562,18 @@ cmdHoard(std::vector<std::string> args)
             takeOption(args, "--max-bytes");
         const std::string maxAgeDays =
             takeOption(args, "--max-age-days");
-        if (args.size() != 1)
-            return usage(std::cerr, 2);
+        expectPositionals(args, 1, "qcarch hoard gc DIR");
         HoardStore hoard(args[0]);
         const HoardGcReport report = hoard.gc(
-            maxBytes.empty() ? 0 : std::stoull(maxBytes),
-            maxAgeDays.empty() ? 0.0 : std::stod(maxAgeDays));
+            maxBytes.empty()
+                ? 0
+                : static_cast<std::uint64_t>(parseIntOption(
+                      "--max-bytes", maxBytes, 0,
+                      std::int64_t(1) << 62)),
+            maxAgeDays.empty()
+                ? 0.0
+                : parseSecondsOption("--max-age-days",
+                                     maxAgeDays));
         std::cerr << "hoard: kept " << report.kept << " ("
                   << report.keptBytes << " bytes), evicted "
                   << report.evicted << " (" << report.evictedBytes
@@ -464,8 +582,11 @@ cmdHoard(std::vector<std::string> args)
         return 0;
     }
 
-    if (args.size() != 1)
-        return usage(std::cerr, 2);
+    if (what != "stat" && what != "verify")
+        throw UsageError("unknown hoard subcommand \"" + what
+                         + "\"; expected warm, stat, verify, gc, "
+                           "ingest");
+    expectPositionals(args, 1, "qcarch hoard " + what + " DIR");
 
     if (what == "stat") {
         HoardStore hoard(args[0]);
@@ -484,15 +605,24 @@ cmdHoard(std::vector<std::string> args)
                   << " pruned\n";
         return report.quarantined == 0 ? 0 : 1;
     }
-    return usage(std::cerr, 2);
+    return 0; // unreachable: the subcommand gate above covered both
 }
 
 int
 cmdList(std::vector<std::string> args)
 {
     if (args.empty())
-        return usage(std::cerr, 2);
+        throw UsageError("qcarch list needs a subcommand: "
+                         "workloads, archs, runners, fields");
     const std::string what = args[0];
+    for (const std::string &arg : args) {
+        if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-')
+            throw UsageError("unknown flag \"" + arg
+                             + "\" for qcarch list");
+    }
+    if (args.size() > (what == "fields" ? 2u : 1u))
+        throw UsageError("too many arguments for qcarch list "
+                         + what);
     if (what == "workloads") {
         WorkloadRegistry &registry = WorkloadRegistry::instance();
         for (const std::string &name : registry.names()) {
@@ -526,7 +656,9 @@ cmdList(std::vector<std::string> args)
             std::cout << field << "\n";
         return 0;
     }
-    return usage(std::cerr, 2);
+    throw UsageError("unknown list subcommand \"" + what
+                     + "\"; expected workloads, archs, runners, "
+                       "fields");
 }
 
 } // namespace
@@ -534,8 +666,11 @@ cmdList(std::vector<std::string> args)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage(std::cerr, 2);
+    if (argc < 2) {
+        std::cerr << "qcarch: missing command\n"
+                  << kUsageLine << "\n";
+        return 2;
+    }
     const std::string command = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
     try {
@@ -553,11 +688,14 @@ main(int argc, char **argv)
             return cmdList(std::move(args));
         if (command == "--help" || command == "help")
             return usage(std::cout, 0);
+        throw UsageError("unknown command \"" + command + "\"");
+    } catch (const UsageError &e) {
+        std::cerr << "qcarch: " << e.what() << "\n"
+                  << kUsageLine << "\n";
+        return 2;
     } catch (const std::exception &e) {
         std::cerr << "qcarch " << command << ": " << e.what()
                   << "\n";
         return 1;
     }
-    std::cerr << "qcarch: unknown command \"" << command << "\"\n";
-    return usage(std::cerr, 2);
 }

@@ -56,6 +56,28 @@ Rules (each waivable, see below):
                 sync with the per-width engine files, so a forced
                 width can fail loudly instead of hitting SIGILL.
 
+  module-layering
+                `#include "<module>/..."` edges must follow the
+                DAG declared in tools/layers.json: each module
+                lists the modules it may include, transitively.
+                The declared graph is cycle-checked on load (a
+                cyclic layers.json is a config error, exit 2).
+                Known upward edges — today the two registry
+                self-registration TUs arch/Microarch.cc and
+                kernels/Workloads.cc including api/ — are waived
+                per-edge in layers.json with a mandatory `why`.
+
+  parse-robustness
+                .at( / asInt( in src/serve or src/hoard. The
+                fromJson-style entry points on the queue, lease,
+                delta, and hoard commit/fetch paths parse bytes
+                other processes wrote; they must use the
+                bounds-checked accessors (Json::find, asIndex,
+                kind checks) that reject malformed input as
+                "ignore this file". at()/asInt() throw, and an
+                exception escaping a reject-whole parser turns a
+                corrupt file into a crashed coordinator.
+
 Waivers: a finding is suppressed by a comment on the same line or
 the line directly above it:
 
@@ -77,6 +99,7 @@ failed, 2 usage or I/O error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -178,7 +201,112 @@ RULES = [
         "engine code uses the portable SimdOps types so every "
         "width stays bit-identical and buildable everywhere",
     ),
+    Rule(
+        "module-layering",
+        None,  # handled specially: needs tools/layers.json
+        None,
+        [],
+        "cross-module includes must follow the DAG declared in "
+        "tools/layers.json; an upward edge needs a per-edge waiver "
+        "there with a justification",
+    ),
+    Rule(
+        "parse-robustness",
+        r"(?:\.at\s*\(|\basInt\s*\()",
+        ["src/serve/", "src/hoard/"],
+        [],
+        "commit/fetch-path parsers read bytes other processes "
+        "wrote; use the bounds-checked Json::find/asIndex "
+        "accessors — at()/asInt() throw, which escapes the "
+        "reject-whole fromJson contract",
+    ),
 ]
+
+# Matched against the raw line (not the string-stripped form the
+# pattern rules see — stripping would eat the include path itself).
+MODULE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([a-z]+)/')
+
+# Loaded from tools/layers.json by load_layers(); None until then
+# (and in that state the module-layering rule is inert, which keeps
+# unit-style callers of lint_lines working without a repo root).
+LAYERS = None
+
+
+def path_module(path):
+    """Map a scanned relative path to its module name, or None."""
+    if path.startswith("tools/"):
+        return "tools"
+    parts = path.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def load_layers(root):
+    """Parse tools/layers.json into the LAYERS global.
+
+    Validates the declared module graph: every edge target must be
+    a declared module, the graph must be acyclic, and every waiver
+    must carry from/to/file and a non-empty why. Any violation is
+    a configuration error (exit 2) — the layering contract itself
+    must never be in a broken state.
+    """
+    global LAYERS
+    path = os.path.join(root, "tools", "layers.json")
+
+    def die(message):
+        print("qclint: %s: %s" % (path, message), file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        die("cannot load: %s" % e)
+    modules = data.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        die("missing or empty `modules` table")
+    for mod, deps in modules.items():
+        for dep in deps:
+            if dep not in modules:
+                die("module `%s` allows unknown module `%s`"
+                    % (mod, dep))
+
+    # Depth-first cycle check + transitive closure in one walk.
+    closure = {}
+
+    def close(mod, trail):
+        if mod in closure:
+            return closure[mod]
+        if mod in trail:
+            cycle = trail[trail.index(mod):] + [mod]
+            die("declared layering contains a cycle: %s"
+                % " -> ".join(cycle))
+        reach = set()
+        for dep in modules[mod]:
+            reach.add(dep)
+            reach |= close(dep, trail + [mod])
+        closure[mod] = reach
+        return reach
+
+    for mod in sorted(modules):
+        close(mod, [])
+
+    waived_edges = set()
+    for waiver in data.get("waivers", []):
+        for key in ("from", "to", "file", "why"):
+            if not waiver.get(key):
+                die("waiver %r needs a non-empty `%s`"
+                    % (waiver, key))
+        waived_edges.add(
+            (waiver["from"], waiver["to"], waiver["file"])
+        )
+    LAYERS = {
+        "modules": modules,
+        "closure": closure,
+        "waived_edges": waived_edges,
+    }
+
 
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
@@ -250,8 +378,47 @@ def lint_lines(path, lines):
             for m in UNORDERED_DECL_RE.finditer(code):
                 unordered_names.add(m.group(1))
 
+    # Layering context for this file (None disables the rule: no
+    # layers.json loaded, or the path is outside any module).
+    file_module = path_module(path)
+    layer_reach = None
+    if LAYERS is not None and file_module in LAYERS["closure"]:
+        layer_reach = LAYERS["closure"][file_module]
+
+    def layering_finding(i, line):
+        m = MODULE_INCLUDE_RE.match(line)
+        if not m:
+            return None
+        target = m.group(1)
+        if (
+            target == file_module
+            or target not in LAYERS["modules"]
+            or target in layer_reach
+        ):
+            return None
+        if (file_module, target, path) in LAYERS["waived_edges"]:
+            return None
+        if waived(i, "module-layering"):
+            return None
+        return Finding(
+            path,
+            i,
+            "module-layering",
+            "module `%s` may not include `%s/` (allowed: %s); add "
+            "the edge or a per-edge waiver to tools/layers.json"
+            % (
+                file_module,
+                target,
+                ", ".join(sorted(layer_reach)) or "nothing",
+            ),
+        )
+
     # Pass 2: per-line pattern rules.
     for i, line in enumerate(lines, start=1):
+        if layer_reach is not None:
+            f = layering_finding(i, line)
+            if f:
+                findings.append(f)
         code = STRING_RE.sub('""', line)
         stripped = code.lstrip()
         if stripped.startswith("//") or stripped.startswith("*"):
@@ -428,6 +595,8 @@ def main(argv=None):
             for path in sorted(rule.whitelist):
                 print("%-20s   whitelisted: %s" % ("", path))
         return 0
+
+    load_layers(args.root)
 
     if args.self_test:
         return self_test(args.root)
